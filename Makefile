@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench report experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench . -benchmem .
+
+# Regenerate EXPERIMENTS.md at the reference scale.
+experiments:
+	$(GO) run ./cmd/report -scale 0.25 -seed 1 -o EXPERIMENTS.md
+
+# Full-scale (paper-sized) report; needs ~2 GB of temp disk for traces.
+experiments-full:
+	$(GO) run ./cmd/report -scale 1.0 -seed 1 -workers -1 -tracedir /tmp/smartusage-traces -o EXPERIMENTS.md
+
+clean:
+	rm -f campaign-*.trace campaign-*.jsonl collected.trace

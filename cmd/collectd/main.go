@@ -1,0 +1,88 @@
+// Command collectd runs the central collection server: it accepts
+// measurement-agent connections and spools accepted samples to a binary
+// trace file. Stop it with SIGINT/SIGTERM for a graceful shutdown (the
+// spool is flushed before exit).
+//
+// Usage:
+//
+//	collectd -addr :7020 -spool collected.trace -token s3cret
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"smartusage/internal/collector"
+	"smartusage/internal/trace"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("collectd: ")
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7020", "TCP listen address")
+		spool    = flag.String("spool", "collected.trace", "output trace file")
+		spoolDir = flag.String("spooldir", "", "rotate segments into this directory instead of -spool")
+		maxSeg   = flag.Int64("maxseg", 256<<20, "segment size budget for -spooldir (bytes)")
+		token    = flag.String("token", "", "shared auth token (empty disables auth)")
+	)
+	flag.Parse()
+
+	var sink collector.Sink
+	var finish func() error
+	if *spoolDir != "" {
+		sp, err := collector.NewRotatingSpool(*spoolDir, *maxSeg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sink = sp.Sink()
+		finish = sp.Close
+	} else {
+		f, err := os.Create(*spool)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := trace.NewWriter(f)
+		sink = w.Write
+		finish = func() error {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+	}
+
+	srv, err := collector.New(collector.Config{
+		Addr:  *addr,
+		Token: *token,
+		Sink:  sink,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Listen(); err != nil {
+		log.Fatal(err)
+	}
+	dest := *spool
+	if *spoolDir != "" {
+		dest = *spoolDir + string(os.PathSeparator) + "spool-*.trace"
+	}
+	log.Printf("listening on %s, spooling to %s", srv.Addr(), dest)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx); err != nil {
+		log.Print(err)
+	}
+	if err := finish(); err != nil {
+		log.Fatal(err)
+	}
+	st := srv.Stats()
+	log.Printf("done: %d conns, %d batches (%d dup), %d samples, %d auth failures, %d errors",
+		st.Conns.Load(), st.Batches.Load(), st.DupBatches.Load(),
+		st.Samples.Load(), st.AuthFails.Load(), st.Errors.Load())
+}

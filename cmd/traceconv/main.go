@@ -1,0 +1,109 @@
+// Command traceconv converts trace files between the binary and JSON Lines
+// formats, validating every sample on the way through.
+//
+// Usage:
+//
+//	traceconv -in campaign.trace -out campaign.jsonl
+//	traceconv -in campaign.jsonl -out campaign.trace
+//
+// The direction is inferred from the input file header (binary traces start
+// with the SMTR1 magic); override with -from binary|jsonl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"smartusage/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traceconv: ")
+	var (
+		in       = flag.String("in", "", "input trace file")
+		out      = flag.String("out", "", "output trace file")
+		from     = flag.String("from", "", "input format: binary or jsonl (default: sniff)")
+		validate = flag.Bool("validate", true, "validate every sample")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		log.Fatal("usage: traceconv -in <file> -out <file> [-from binary|jsonl]")
+	}
+
+	inF, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inF.Close()
+
+	format := *from
+	if format == "" {
+		var magic [5]byte
+		if _, err := inF.Read(magic[:]); err != nil {
+			log.Fatalf("sniff input: %v", err)
+		}
+		if string(magic[:]) == "SMTR1" {
+			format = "binary"
+		} else {
+			format = "jsonl"
+		}
+		if _, err := inF.Seek(0, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var read func(fn func(*trace.Sample) error) error
+	var toBinary bool
+	switch format {
+	case "binary":
+		read = trace.NewReader(inF).ReadAll
+		toBinary = false
+	case "jsonl":
+		read = trace.NewJSONLReader(inF).ReadAll
+		toBinary = true
+	default:
+		log.Fatalf("unknown format %q", format)
+	}
+
+	outF, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var write func(*trace.Sample) error
+	var flush func() error
+	if toBinary {
+		w := trace.NewWriter(outF)
+		write, flush = w.Write, w.Flush
+	} else {
+		w := trace.NewJSONLWriter(outF)
+		write, flush = w.Write, w.Flush
+	}
+
+	n := 0
+	err = read(func(s *trace.Sample) error {
+		if *validate {
+			if verr := s.Validate(); verr != nil {
+				return fmt.Errorf("sample %d: %w", n+1, verr)
+			}
+		}
+		n++
+		return write(s)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := outF.Close(); err != nil {
+		log.Fatal(err)
+	}
+	toName := "jsonl"
+	if toBinary {
+		toName = "binary"
+	}
+	log.Printf("converted %d samples (%s → %s)", n, format, toName)
+}

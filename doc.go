@@ -1,0 +1,12 @@
+// Package smartusage is a full reproduction of "Tracking the Evolution and
+// Diversity in Network Usage of Smartphones" (Fukuda, Asai, Nagami —
+// IMC 2015) as a Go library: a calibrated synthetic Greater-Tokyo
+// measurement substrate (population, mobility, WiFi/cellular radio models,
+// application traffic), the on-device agent and TCP collection server of
+// the paper's §2 methodology, and an analysis pipeline that regenerates
+// every table and figure of the evaluation.
+//
+// Start with internal/core for the orchestration API, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-versus-measured results of a reference run.
+package smartusage

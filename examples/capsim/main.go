@@ -1,0 +1,69 @@
+// Cap-policy what-if: an ablation beyond the paper. §3.8 observes the soft
+// bandwidth cap's effect and its 2015 relaxation; this example sweeps the
+// policy space — threshold, throttle rate, and enforcement — on the 2014
+// campaign and reports how each regime changes the capped population and
+// the Fig. 19 gap.
+//
+//	go run ./examples/capsim [-scale 0.25] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"smartusage/internal/config"
+	"smartusage/internal/core"
+	"smartusage/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Float64("scale", 0.35, "panel scale")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	type regime struct {
+		name        string
+		threshold   uint64
+		limitBps    float64
+		enforcement float64
+	}
+	regimes := []regime{
+		{"paper 2014 (1GB/3d, 128kbps)", 1 << 30, 128_000, 1.0},
+		{"relaxed 2015 policy", 1 << 30, 128_000, 0.45},
+		{"tight cap (512MB/3d)", 512 << 20, 128_000, 1.0},
+		{"loose cap (3GB/3d)", 3 << 30, 128_000, 1.0},
+		{"gentler throttle (1Mbps)", 1 << 30, 1_000_000, 1.0},
+	}
+
+	rows := [][]string{}
+	for _, rg := range regimes {
+		cfg, err := config.ForYear(2014, *scale, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Cap.ThresholdBytes = rg.threshold
+		cfg.Cap.LimitBps = rg.limitBps
+		cfg.Cap.Enforcement = rg.enforcement
+
+		run, err := core.RunWithConfig(cfg, core.Options{Scale: *scale, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := run.CapEffect
+		rows = append(rows, []string{
+			rg.name,
+			render.Pct(c.CappedUserFrac),
+			fmt.Sprintf("%.2f", c.MedianGap),
+			render.Pct(c.HalvedFracCapped),
+			render.Pct(c.HalvedFracOther),
+		})
+	}
+	fmt.Println("soft bandwidth cap ablation (2014 campaign):")
+	render.Table(os.Stdout, []string{"policy", "capped users", "median gap", "capped<half", "other<half"}, rows)
+	fmt.Println("\npaper anchors: 0.8% of users capped in 2014; median gap 0.29 (2014) vs 0.15 (relaxed 2015).")
+	fmt.Println("Note the behavioural feedback: most subscribers self-limit near the threshold, so")
+	fmt.Println("tightening the cap grows the capped population less than linearly.")
+}

@@ -1,0 +1,81 @@
+// Offload study: reproduce the paper's longitudinal WiFi-offloading
+// narrative across all three campaigns — Table 3's growth, the user
+// typology of Fig. 5, the offloading ratios of Figs. 6-8, and the §4.1
+// implications for residential broadband.
+//
+//	go run ./examples/offloadstudy [-scale 0.2] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"smartusage/internal/core"
+	"smartusage/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Float64("scale", 0.2, "panel scale")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	st, err := core.RunStudy(core.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Table 3: daily download per user (MB/day) ==")
+	rows := [][]string{}
+	for _, y := range []int{2013, 2014, 2015} {
+		v := st.Runs[y].VolumeStats
+		rows = append(rows, []string{
+			fmt.Sprint(y),
+			fmt.Sprintf("%.1f", v.MedianAll), fmt.Sprintf("%.1f", v.MedianCell), fmt.Sprintf("%.1f", v.MedianWiFi),
+			fmt.Sprintf("%.1f", v.MeanAll), fmt.Sprintf("%.1f", v.MeanCell), fmt.Sprintf("%.1f", v.MeanWiFi),
+		})
+	}
+	render.Table(os.Stdout, []string{"year", "med all", "med cell", "med wifi", "mean all", "mean cell", "mean wifi"}, rows)
+
+	g, err := st.Growth()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nannual growth (paper: all 48%%, cell 35%%, wifi 134%% at the median):\n")
+	fmt.Printf("  median: all %s, cell %s, wifi %s\n",
+		render.Pct(g.AGRMedianAll), render.Pct(g.AGRMedianCell), render.Pct(g.AGRMedianWiFi))
+	fmt.Printf("  mean:   all %s, cell %s, wifi %s\n\n",
+		render.Pct(g.AGRMeanAll), render.Pct(g.AGRMeanCell), render.Pct(g.AGRMeanWiFi))
+
+	fmt.Println("== User typology (Fig. 5, §3.3.1) ==")
+	for _, y := range []int{2013, 2015} {
+		u := st.Runs[y].UserTypes
+		fmt.Printf("  %d: cellular-intensive %s, WiFi-intensive %s, mixed %s (days above diagonal %s)\n",
+			y, render.Pct(u.CellularIntensiveFrac), render.Pct(u.WiFiIntensiveFrac),
+			render.Pct(u.MixedFrac), render.Pct(u.MixedAboveDiagonal))
+	}
+
+	fmt.Println("\n== Offloading ratios (Figs. 6-8) ==")
+	for _, y := range []int{2013, 2015} {
+		r := st.Runs[y].Ratios
+		fmt.Printf("  %d: traffic ratio %.2f (light %.2f / heavy %.2f), user ratio %.2f\n",
+			y, r.All.MeanTrafficRatio, r.Light.MeanTrafficRatio,
+			r.Heavy.MeanTrafficRatio, r.All.MeanUserRatio)
+	}
+	fmt.Println("\n2015 WiFi-traffic ratio by hour of week:")
+	render.WeekCurve(os.Stdout, "  WiFi-traffic ratio", st.Runs[2015].Ratios.All.TrafficRatio, "")
+	render.WeekCurve(os.Stdout, "  WiFi-user ratio", st.Runs[2015].Ratios.All.UserRatio, "")
+	render.WeekAxis(os.Stdout)
+
+	im, err := st.Implications()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== §4.1 implications ==")
+	fmt.Printf("  WiFi:cellular median ratio      %.2f : 1   (paper 1.4:1)\n", im.WiFiToCellRatio)
+	fmt.Printf("  smartphone WiFi share           %s      (paper 58%%)\n", render.Pct(im.SmartphoneWiFiShare))
+	fmt.Printf("  smartphone share of RBB volume  %s      (paper ~28%%)\n", render.Pct(im.OffloadShareOfRBB))
+	fmt.Printf("  one phone per home broadband    %s      (paper ~12%%)\n", render.Pct(im.PerHomeShare))
+}

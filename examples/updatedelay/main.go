@@ -1,0 +1,60 @@
+// Update-delay study: the iOS 8.2 flash crowd of §3.7 / Fig. 18. The 2015
+// campaign embeds a 565 MB WiFi-only OS update released mid-campaign; this
+// example reports how fast devices pick it up and how badly users without
+// home WiFi lag — the paper's security-exposure argument.
+//
+//	go run ./examples/updatedelay [-scale 0.25] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"smartusage/internal/analysis"
+	"smartusage/internal/core"
+	"smartusage/internal/render"
+	"smartusage/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Float64("scale", 0.25, "panel scale")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	run, err := core.RunCampaign(2015, core.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := run.Update
+	if u == nil {
+		log.Fatal("no update event in the 2015 campaign")
+	}
+
+	fmt.Printf("iPhones in panel: %d; updated within the window: %d (%s; paper 58%%)\n",
+		u.TotalIOS, u.Updated, render.Pct(u.UpdatedFrac))
+	fmt.Printf("day-one updates: %s (paper 10%%); within four days: %s (paper ~50%%)\n\n",
+		render.Pct(u.FirstDayFrac), render.Pct(u.FirstFourDaysFrac))
+
+	fmt.Println("updates per day since release (Fig. 18 PDF):")
+	fmt.Printf("  |%s|\n\n", render.Sparkline(u.DayPDF))
+
+	fmt.Println("the home-WiFi divide (§3.7):")
+	fmt.Printf("  devices without an inferred home AP: %d; of those updated: %d (%s; paper 14%%)\n",
+		u.NoHomeIOS, u.UpdatedNoHome, render.Pct(u.UpdatedNoHomeFrac))
+	fmt.Printf("  median extra delay without home WiFi: %.1f days (paper 3.5)\n",
+		u.MedianDelayGapDays)
+	fmt.Printf("  no-home updates carried by: public APs %d, office APs %d (paper: 11 and 2 of 19)\n",
+		u.ViaClassNoHome[analysis.APPublic], u.ViaClassNoHome[analysis.APOffice])
+
+	if len(u.DelaysDays) > 0 {
+		fmt.Printf("\nupdate delay quantiles (days since release):\n")
+		fmt.Printf("  all updaters:  p25=%.1f p50=%.1f p90=%.1f\n",
+			stats.Quantile(u.DelaysDays, 0.25), stats.Quantile(u.DelaysDays, 0.5), stats.Quantile(u.DelaysDays, 0.9))
+		if len(u.DelaysDaysNoHome) > 0 {
+			fmt.Printf("  without home AP: p50=%.1f\n", stats.Quantile(u.DelaysDaysNoHome, 0.5))
+		}
+	}
+	fmt.Println("\nFor security-critical updates, the no-home-AP tail stays vulnerable for days longer (§3.7).")
+}

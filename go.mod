@@ -1,0 +1,3 @@
+module smartusage
+
+go 1.22

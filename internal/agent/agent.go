@@ -1,0 +1,276 @@
+// Package agent implements the device-side half of the measurement system
+// (§2): it buffers each 10-minute sample, uploads batches to the collection
+// server, and — exactly as the paper's software does — "if the upload fails
+// the software caches the data and sends it later", bounded by a cache
+// limit and retried on the next flush.
+//
+// An Agent also applies the per-OS visibility filter: iOS builds strip
+// application records and non-associated scan results before upload, so a
+// trace collected through an Agent has the same information asymmetry as
+// the paper's dataset.
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"smartusage/internal/proto"
+	"smartusage/internal/trace"
+)
+
+// Config configures an Agent.
+type Config struct {
+	// Server is the collector's TCP address.
+	Server string
+	// Device and OS identify this installation.
+	Device trace.DeviceID
+	OS     trace.OS
+	// Token authenticates against the collector.
+	Token string
+
+	// BatchSize triggers an automatic flush once this many samples are
+	// pending (default 6, i.e. hourly at the 10-minute cadence).
+	BatchSize int
+	// MaxCache bounds cached samples awaiting upload; beyond it the
+	// oldest samples are dropped, as a storage-constrained handset would
+	// (default 4320 = 30 days).
+	MaxCache int
+	// DialTimeout and IOTimeout bound network operations (default 5 s and
+	// 10 s).
+	DialTimeout time.Duration
+	IOTimeout   time.Duration
+
+	// Dial overrides the dialer, for tests and fault injection; nil uses
+	// net.DialTimeout.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// Stats counts agent activity.
+type Stats struct {
+	Recorded  int
+	Uploaded  int
+	Dropped   int // cache overflow
+	Flushes   int
+	FlushErrs int
+	Redials   int
+}
+
+// Agent buffers and uploads samples. It is not safe for concurrent use; a
+// device produces samples from a single loop.
+//
+// Upload is exactly-once: when a batch is first attempted its contents and
+// batch ID are frozen ("in flight"); retries resend the identical batch
+// under the identical ID so the collector's dedup can drop replays whose
+// ack was lost. Samples recorded during retries queue behind the in-flight
+// batch.
+type Agent struct {
+	cfg   Config
+	stats Stats
+
+	pending    []trace.Sample // recorded, not yet assigned to a batch
+	inflight   []trace.Sample // frozen batch awaiting ack
+	inflightID uint64
+	batchID    uint64
+
+	conn      net.Conn
+	pc        *proto.Conn
+	connected bool
+}
+
+// New validates cfg and returns an Agent.
+func New(cfg Config) (*Agent, error) {
+	if cfg.Server == "" {
+		return nil, errors.New("agent: empty server address")
+	}
+	if !cfg.OS.Valid() {
+		return nil, fmt.Errorf("agent: invalid OS %d", cfg.OS)
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 6
+	}
+	if cfg.MaxCache == 0 {
+		cfg.MaxCache = 4320
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.IOTimeout == 0 {
+		cfg.IOTimeout = 10 * time.Second
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return &Agent{cfg: cfg}, nil
+}
+
+// Stats returns a copy of the agent's counters.
+func (a *Agent) Stats() Stats { return a.stats }
+
+// Pending returns how many samples await upload (queued plus in flight).
+func (a *Agent) Pending() int { return len(a.pending) + len(a.inflight) }
+
+// Record buffers one sample, applying the OS visibility filter, and flushes
+// when the batch threshold is reached. A failed flush keeps the samples
+// cached; Record itself never fails.
+func (a *Agent) Record(s *trace.Sample) {
+	cp := *s.Clone()
+	cp.Device = a.cfg.Device
+	cp.OS = a.cfg.OS
+	if a.cfg.OS == trace.IOS {
+		// iOS exposes neither per-application counters nor non-associated
+		// scan results (§2).
+		cp.Apps = nil
+		kept := cp.APs[:0]
+		for _, ap := range cp.APs {
+			if ap.Associated {
+				kept = append(kept, ap)
+			}
+		}
+		cp.APs = kept
+	}
+	a.pending = append(a.pending, cp)
+	a.stats.Recorded++
+	if over := a.Pending() - a.cfg.MaxCache; over > 0 {
+		if over > len(a.pending) {
+			over = len(a.pending)
+		}
+		a.pending = a.pending[over:]
+		a.stats.Dropped += over
+	}
+	if len(a.pending) >= a.cfg.BatchSize {
+		_ = a.Flush() // cache-and-retry semantics: errors are not fatal
+	}
+}
+
+// Flush uploads everything awaiting upload, batch by batch. On any failure
+// the current batch stays frozen in flight for the next attempt and the
+// connection is reset.
+func (a *Agent) Flush() error {
+	for {
+		if a.inflight == nil {
+			if len(a.pending) == 0 {
+				return nil
+			}
+			a.batchID++
+			a.inflightID = a.batchID
+			a.inflight = a.pending
+			a.pending = nil
+		}
+		a.stats.Flushes++
+		if err := a.flushInflight(); err != nil {
+			a.stats.FlushErrs++
+			a.resetConn()
+			return err
+		}
+		a.stats.Uploaded += len(a.inflight)
+		a.inflight = nil
+	}
+}
+
+func (a *Agent) flushInflight() error {
+	if err := a.ensureConn(); err != nil {
+		return err
+	}
+	b := proto.Batch{BatchID: a.inflightID, Samples: a.inflight}
+	payload := proto.AppendBatch(nil, &b)
+	a.conn.SetDeadline(time.Now().Add(a.cfg.IOTimeout))
+	if err := a.pc.WriteFrame(proto.FrameBatch, payload); err != nil {
+		return fmt.Errorf("agent: send batch: %w", err)
+	}
+	ft, resp, err := a.pc.ReadFrame()
+	if err != nil {
+		return fmt.Errorf("agent: read batch ack: %w", err)
+	}
+	switch ft {
+	case proto.FrameBatchAck:
+		var ack proto.BatchAck
+		if err := proto.DecodeBatchAck(resp, &ack); err != nil {
+			return err
+		}
+		if ack.BatchID != b.BatchID {
+			return fmt.Errorf("agent: ack for batch %d, sent %d", ack.BatchID, b.BatchID)
+		}
+		return nil
+	case proto.FrameError:
+		var ef proto.ErrorFrame
+		if err := proto.DecodeErrorFrame(resp, &ef); err != nil {
+			return err
+		}
+		return fmt.Errorf("agent: server error: %s", ef.Message)
+	default:
+		return fmt.Errorf("agent: unexpected frame %s", ft)
+	}
+}
+
+// ensureConn dials and performs the hello handshake when not connected.
+func (a *Agent) ensureConn() error {
+	if a.connected {
+		return nil
+	}
+	conn, err := a.cfg.Dial(a.cfg.Server, a.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("agent: dial %s: %w", a.cfg.Server, err)
+	}
+	a.stats.Redials++
+	pc := proto.NewConn(conn)
+	hello := proto.Hello{
+		Version: proto.Version,
+		Device:  a.cfg.Device,
+		OS:      a.cfg.OS,
+		Token:   a.cfg.Token,
+	}
+	conn.SetDeadline(time.Now().Add(a.cfg.IOTimeout))
+	if err := pc.WriteFrame(proto.FrameHello, proto.AppendHello(nil, &hello)); err != nil {
+		conn.Close()
+		return err
+	}
+	ft, resp, err := pc.ReadFrame()
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("agent: read hello ack: %w", err)
+	}
+	switch ft {
+	case proto.FrameHelloAck:
+		var ack proto.HelloAck
+		if err := proto.DecodeHelloAck(resp, &ack); err != nil {
+			conn.Close()
+			return err
+		}
+	case proto.FrameError:
+		var ef proto.ErrorFrame
+		derr := proto.DecodeErrorFrame(resp, &ef)
+		conn.Close()
+		if derr != nil {
+			return derr
+		}
+		return fmt.Errorf("agent: server rejected hello: %s", ef.Message)
+	default:
+		conn.Close()
+		return fmt.Errorf("agent: unexpected frame %s", ft)
+	}
+	a.conn, a.pc, a.connected = conn, pc, true
+	return nil
+}
+
+func (a *Agent) resetConn() {
+	if a.conn != nil {
+		a.conn.Close()
+	}
+	a.conn, a.pc, a.connected = nil, nil, false
+}
+
+// Close flushes remaining samples (best effort), sends Bye, and closes the
+// connection. It returns the flush error, if any.
+func (a *Agent) Close() error {
+	flushErr := a.Flush()
+	if a.connected {
+		a.conn.SetDeadline(time.Now().Add(a.cfg.IOTimeout))
+		_ = a.pc.WriteFrame(proto.FrameBye, nil)
+	}
+	a.resetConn()
+	return flushErr
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"sort"
+
+	"smartusage/internal/stats"
+	"smartusage/internal/trace"
+)
+
+// CapEffect reproduces Fig. 19 and §3.8: for every device-day with history,
+// the ratio of the day's cellular download to the mean of the previous
+// three days, split into potentially-capped device-days (trailing 3-day
+// volume above the 1 GB threshold) and the rest. The analysis is computed
+// entirely from prepass aggregates.
+type CapEffectResult struct {
+	// Ratios of daily cellular RX to trailing 3-day mean.
+	CappedRatios []float64
+	OtherRatios  []float64
+	CDFCapped    stats.Distribution
+	CDFOther     stats.Distribution
+
+	// CappedUserFrac is the fraction of users ever potentially capped
+	// (0.5% → 1.4% across years).
+	CappedUserFrac float64
+	// MedianGap is median(other) - median(capped): the Fig. 19 gap
+	// (≈0.29 in 2014, ≈0.15 in 2015).
+	MedianGap float64
+	// CappedNoHomeAPFrac is the share of capped users without an inferred
+	// home AP (65% in the paper).
+	CappedNoHomeAPFrac float64
+	// HalvedFracCapped / HalvedFracOther are the shares downloading less
+	// than half their trailing mean (45% vs 30% in 2014).
+	HalvedFracCapped float64
+	HalvedFracOther  float64
+}
+
+// DefaultCapThreshold is the standard soft-cap trigger: 1 GB over the
+// trailing three days (§3.8).
+const DefaultCapThreshold = 1 << 30
+
+// CapEffect computes Fig. 19 from the prepass using the standard 1 GB
+// threshold.
+func (p *Prep) CapEffect() CapEffectResult {
+	return p.CapEffectWithThreshold(DefaultCapThreshold)
+}
+
+// CapEffectWithThreshold computes Fig. 19 against an arbitrary trailing
+// 3-day threshold, for policy what-if studies.
+func (p *Prep) CapEffectWithThreshold(thresholdBytes uint64) CapEffectResult {
+	var r CapEffectResult
+
+	// Order each device's days.
+	perDev := make(map[trace.DeviceID][]*UserDay)
+	for _, ud := range p.UserDays {
+		perDev[ud.Device] = append(perDev[ud.Device], ud)
+	}
+	cappedUsers := make(map[trace.DeviceID]bool)
+	for dev, days := range perDev {
+		sort.Slice(days, func(i, j int) bool { return days[i].Day < days[j].Day })
+		byDay := make(map[int]uint64, len(days))
+		for _, ud := range days {
+			byDay[ud.Day] = ud.CellRX
+		}
+		for _, ud := range days {
+			if ud.Excluded || ud.Day < 3 {
+				continue
+			}
+			var trailing uint64
+			complete := true
+			for k := 1; k <= 3; k++ {
+				v, ok := byDay[ud.Day-k]
+				if !ok {
+					complete = false
+					break
+				}
+				trailing += v
+			}
+			if !complete || trailing == 0 {
+				continue
+			}
+			ratio := float64(ud.CellRX) / (float64(trailing) / 3)
+			if trailing > thresholdBytes {
+				r.CappedRatios = append(r.CappedRatios, ratio)
+				cappedUsers[dev] = true
+			} else {
+				r.OtherRatios = append(r.OtherRatios, ratio)
+			}
+		}
+	}
+	r.CDFCapped = stats.CDF(r.CappedRatios)
+	r.CDFOther = stats.CDF(r.OtherRatios)
+	if len(perDev) > 0 {
+		r.CappedUserFrac = float64(len(cappedUsers)) / float64(len(perDev))
+	}
+	if len(r.CappedRatios) > 0 && len(r.OtherRatios) > 0 {
+		r.MedianGap = stats.Median(r.OtherRatios) - stats.Median(r.CappedRatios)
+	}
+	if len(cappedUsers) > 0 {
+		noHome := 0
+		for dev := range cappedUsers {
+			if _, ok := p.HomeAPOf[dev]; !ok {
+				noHome++
+			}
+		}
+		r.CappedNoHomeAPFrac = float64(noHome) / float64(len(cappedUsers))
+	}
+	halved := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		n := 0
+		for _, x := range xs {
+			if x < 0.5 {
+				n++
+			}
+		}
+		return float64(n) / float64(len(xs))
+	}
+	r.HalvedFracCapped = halved(r.CappedRatios)
+	r.HalvedFracOther = halved(r.OtherRatios)
+	return r
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"smartusage/internal/stats"
+	"smartusage/internal/trace"
+)
+
+// AssocDuration reproduces Fig. 13: the distribution of consecutive time a
+// device stays on the same AP, per location class. A run extends while
+// successive samples of a device report the same associated pair with no
+// gap larger than one missed interval.
+type AssocDuration struct {
+	meta Meta
+	prep *Prep
+	cur  map[trace.DeviceID]*assocRun
+	// durations in hours per class
+	durations [NumAPClasses][]float64
+}
+
+type assocRun struct {
+	key   APKey
+	start int64
+	last  int64
+}
+
+// maxGapSeconds tolerates one missing report inside a run.
+const maxGapSeconds = 1300
+
+// NewAssocDuration returns an empty Fig. 13 accumulator.
+func NewAssocDuration(meta Meta, prep *Prep) *AssocDuration {
+	return &AssocDuration{meta: meta, prep: prep, cur: make(map[trace.DeviceID]*assocRun)}
+}
+
+// Add implements Analyzer. Samples of one device must arrive in time order
+// (trace files and the simulator guarantee this).
+func (a *AssocDuration) Add(s *trace.Sample) {
+	run := a.cur[s.Device]
+	ap := s.AssociatedAP()
+	if ap == nil {
+		if run != nil {
+			a.close(run)
+			delete(a.cur, s.Device)
+		}
+		return
+	}
+	key := APKey{BSSID: ap.BSSID, ESSID: ap.ESSID}
+	if run != nil && run.key == key && s.Time-run.last <= maxGapSeconds {
+		run.last = s.Time
+		return
+	}
+	if run != nil {
+		a.close(run)
+	}
+	a.cur[s.Device] = &assocRun{key: key, start: s.Time, last: s.Time}
+}
+
+func (a *AssocDuration) close(run *assocRun) {
+	// A run of one sample lasted one interval.
+	hours := float64(run.last-run.start+600) / 3600
+	class := a.prep.ClassOf(run.key)
+	a.durations[class] = append(a.durations[class], hours)
+}
+
+// AssocDurationResult holds the per-class duration samples and CCDFs.
+type AssocDurationResult struct {
+	// Hours[class] are the raw run durations.
+	Hours [NumAPClasses][]float64
+	// CCDF[class] is the complementary CDF of Hours[class].
+	CCDF [NumAPClasses]stats.Distribution
+	// P90Hours[class] is the 90th percentile (≈12 h home, 8 h office,
+	// 1 h public in the paper).
+	P90Hours [NumAPClasses]float64
+}
+
+// Result flushes open runs and finalizes the distributions.
+func (a *AssocDuration) Result() AssocDurationResult {
+	for dev, run := range a.cur {
+		a.close(run)
+		delete(a.cur, dev)
+	}
+	var r AssocDurationResult
+	for c := APClass(0); c < NumAPClasses; c++ {
+		r.Hours[c] = a.durations[c]
+		r.CCDF[c] = stats.CCDF(a.durations[c])
+		r.P90Hours[c] = stats.Quantile(a.durations[c], 0.90)
+	}
+	return r
+}

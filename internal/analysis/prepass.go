@@ -1,0 +1,418 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"smartusage/internal/geo"
+	"smartusage/internal/trace"
+	"smartusage/internal/wifi"
+)
+
+// Rank is the per-user-day traffic classification of §2: light users are
+// the 40th-60th percentile of daily download volume, heavy hitters the top
+// 5%. A user may be light one day and heavy another.
+type Rank uint8
+
+// Ranks.
+const (
+	RankOther Rank = iota
+	RankLight
+	RankHeavy
+)
+
+// UserDayKey identifies one device-day.
+type UserDayKey struct {
+	Device trace.DeviceID
+	Day    int
+}
+
+// UserDay aggregates one device-day of traffic.
+type UserDay struct {
+	Device trace.DeviceID
+	OS     trace.OS
+	Day    int
+
+	CellRX, CellTX uint64
+	WiFiRX, WiFiTX uint64
+	// LTERX is the cellular download carried while camped on LTE.
+	LTERX uint64
+
+	Rank Rank
+	// Excluded marks days removed by the cleaning pass (update day and
+	// the day after, §2).
+	Excluded bool
+}
+
+// TotalRX returns the day's total download volume.
+func (u *UserDay) TotalRX() uint64 { return u.CellRX + u.WiFiRX }
+
+// TotalTX returns the day's total upload volume.
+func (u *UserDay) TotalTX() uint64 { return u.CellTX + u.WiFiTX }
+
+// APStat is what one pass of the trace reveals about one (BSSID, ESSID)
+// pair.
+type APStat struct {
+	Key     APKey
+	Class   APClass
+	Band    trace.Band
+	Channel uint8
+	// FirstCell is the grid cell of the first observation; APs are
+	// stationary so it stands in for the AP's location.
+	FirstCell geo.Cell
+
+	// Detections counts scan observations (associated or not); MaxRSSI is
+	// the strongest detection.
+	Detections int
+	MaxRSSI    int8
+
+	// AssocSamples counts associated intervals; AssocBusiness counts the
+	// subset on weekdays 11:00-17:00 (the office rule of §3.4.1);
+	// MaxAssocRSSI is the strongest associated observation (Fig. 15).
+	AssocSamples  int
+	AssocBusiness int
+	MaxAssocRSSI  int8
+}
+
+// Prep is the derived per-dataset context shared by all analyzers.
+type Prep struct {
+	Meta Meta
+
+	// Devices maps every seen device to its OS.
+	Devices map[trace.DeviceID]trace.OS
+
+	// APs holds per-AP statistics and the inferred class of every pair
+	// observed in the trace.
+	APs map[APKey]*APStat
+
+	// HomeAPOf maps a device to its inferred home AP (night-time rule);
+	// devices without home networks are absent.
+	HomeAPOf map[trace.DeviceID]APKey
+	// HomeCell is the device's modal night-time grid cell, used to infer
+	// "at home" for cellular traffic (§3.6).
+	HomeCell map[trace.DeviceID]geo.Cell
+
+	// UserDays aggregates every device-day.
+	UserDays map[UserDayKey]*UserDay
+
+	// UpdateDay/UpdateTime record, per iOS device, the inferred OS-update
+	// day (campaign day index) and sample time (§3.7). Empty outside 2015.
+	UpdateDay  map[trace.DeviceID]int
+	UpdateTime map[trace.DeviceID]int64
+
+	// AssocPairs records every pair each device ever associated with,
+	// feeding the survey comparison of Table 8.
+	AssocPairs map[trace.DeviceID]map[APKey]bool
+}
+
+// nightAgg accumulates one device-day's night-time association evidence.
+type nightAgg struct {
+	pairBins map[APKey]int
+	cellBins map[geo.Cell]int
+	// maxWiFiBin tracks the interval with the largest WiFi download, for
+	// update-time detection.
+	maxWiFiBytes uint64
+	maxWiFiTime  int64
+}
+
+// Home-inference constants (§3.4.1): the night window is 22:00-06:00 (48
+// ten-minute bins); a pair qualifies as a home candidate when associated at
+// least 70% of that window in one day.
+const (
+	nightBins     = 48
+	homeNightFrac = 0.70
+)
+
+// updateDetectBytes is the single-interval WiFi download that flags an iOS
+// update: the 565 MB image arrives within one or two 10-minute reports,
+// while ordinary usage never moves hundreds of megabytes in one interval
+// (the daily *median* is 50.7 MB, §3.7).
+const updateDetectBytes = 400 << 20
+
+// BuildPrep runs the first pass over src and derives all shared context.
+// updateRelease, when non-nil, enables iOS-update detection from that
+// instant (2015 campaign).
+func BuildPrep(meta Meta, src Source, updateRelease *time.Time) (*Prep, error) {
+	p := &Prep{
+		Meta:       meta,
+		Devices:    make(map[trace.DeviceID]trace.OS),
+		APs:        make(map[APKey]*APStat),
+		HomeAPOf:   make(map[trace.DeviceID]APKey),
+		HomeCell:   make(map[trace.DeviceID]geo.Cell),
+		UserDays:   make(map[UserDayKey]*UserDay),
+		UpdateDay:  make(map[trace.DeviceID]int),
+		UpdateTime: make(map[trace.DeviceID]int64),
+		AssocPairs: make(map[trace.DeviceID]map[APKey]bool),
+	}
+	nights := make(map[UserDayKey]*nightAgg)
+	var releaseUnix int64
+	if updateRelease != nil {
+		releaseUnix = updateRelease.Unix()
+	}
+
+	err := src(func(s *trace.Sample) error {
+		p.Devices[s.Device] = s.OS
+		day := meta.Day(s.Time)
+		if day < 0 || day >= meta.Days {
+			return fmt.Errorf("analysis: sample at %d outside campaign window", s.Time)
+		}
+		key := UserDayKey{Device: s.Device, Day: day}
+
+		// Volumes (tethered intervals are excluded everywhere, §2).
+		if !s.Tethered {
+			ud := p.UserDays[key]
+			if ud == nil {
+				ud = &UserDay{Device: s.Device, OS: s.OS, Day: day}
+				p.UserDays[key] = ud
+			}
+			ud.CellRX += s.CellRX
+			ud.CellTX += s.CellTX
+			ud.WiFiRX += s.WiFiRX
+			ud.WiFiTX += s.WiFiTX
+			if s.RAT == trace.RATLTE {
+				ud.LTERX += s.CellRX
+			}
+		}
+
+		hour := meta.Hour(s.Time)
+		night := hour >= 22 || hour < 6
+		weekday := meta.Weekday(s.Time)
+		business := weekday && hour >= 10 && hour < 18
+
+		na := nights[key]
+		if na == nil {
+			na = &nightAgg{pairBins: make(map[APKey]int), cellBins: make(map[geo.Cell]int)}
+			nights[key] = na
+		}
+		if night {
+			na.cellBins[geo.Cell{CX: int(s.GeoCX), CY: int(s.GeoCY)}]++
+		}
+		if updateRelease != nil && s.OS == trace.IOS && s.Time >= releaseUnix &&
+			s.WiFiRX > na.maxWiFiBytes {
+			na.maxWiFiBytes = s.WiFiRX
+			na.maxWiFiTime = s.Time
+		}
+
+		// AP observations.
+		for i := range s.APs {
+			obs := &s.APs[i]
+			k := APKey{BSSID: obs.BSSID, ESSID: obs.ESSID}
+			st := p.APs[k]
+			if st == nil {
+				st = &APStat{
+					Key: k, Band: obs.Band, Channel: obs.Channel,
+					FirstCell:    geo.Cell{CX: int(s.GeoCX), CY: int(s.GeoCY)},
+					MaxRSSI:      -128,
+					MaxAssocRSSI: -128,
+				}
+				p.APs[k] = st
+			}
+			st.Detections++
+			if obs.RSSI > st.MaxRSSI {
+				st.MaxRSSI = obs.RSSI
+			}
+			if obs.Associated {
+				pairs := p.AssocPairs[s.Device]
+				if pairs == nil {
+					pairs = make(map[APKey]bool, 2)
+					p.AssocPairs[s.Device] = pairs
+				}
+				pairs[k] = true
+				st.AssocSamples++
+				if business {
+					st.AssocBusiness++
+				}
+				if obs.RSSI > st.MaxAssocRSSI {
+					st.MaxAssocRSSI = obs.RSSI
+				}
+				if night {
+					na.pairBins[k]++
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	p.inferHomes(nights)
+	p.classifyAPs()
+	if updateRelease != nil {
+		p.detectUpdates(nights, *updateRelease)
+	}
+	p.rankDays()
+	return p, nil
+}
+
+// inferHomes applies the night-time rule per device-day and picks each
+// device's modal qualifying pair and modal night cell.
+func (p *Prep) inferHomes(nights map[UserDayKey]*nightAgg) {
+	qualify := make(map[trace.DeviceID]map[APKey]int)
+	cells := make(map[trace.DeviceID]map[geo.Cell]int)
+	for key, na := range nights {
+		for pair, bins := range na.pairBins {
+			if float64(bins) >= homeNightFrac*nightBins {
+				m := qualify[key.Device]
+				if m == nil {
+					m = make(map[APKey]int)
+					qualify[key.Device] = m
+				}
+				m[pair]++
+			}
+		}
+		for cell, n := range na.cellBins {
+			m := cells[key.Device]
+			if m == nil {
+				m = make(map[geo.Cell]int)
+				cells[key.Device] = m
+			}
+			m[cell] += n
+		}
+	}
+	for dev, m := range qualify {
+		var best APKey
+		bestN := 0
+		for pair, n := range m {
+			if n > bestN || (n == bestN && pairLess(pair, best)) {
+				best, bestN = pair, n
+			}
+		}
+		p.HomeAPOf[dev] = best
+	}
+	for dev, m := range cells {
+		var best geo.Cell
+		bestN := 0
+		for cell, n := range m {
+			if n > bestN || (n == bestN && (cell.CX < best.CX || (cell.CX == best.CX && cell.CY < best.CY))) {
+				best, bestN = cell, n
+			}
+		}
+		p.HomeCell[dev] = best
+	}
+}
+
+// pairLess is a deterministic tiebreak.
+func pairLess(a, b APKey) bool {
+	if a.BSSID != b.BSSID {
+		return a.BSSID < b.BSSID
+	}
+	return a.ESSID < b.ESSID
+}
+
+// classifyAPs assigns classes with the paper's precedence: inferred home
+// pairs first (including FON-style public ESSIDs used around the clock at
+// home, §3.4.1), then the public ESSID registry, then the weekday-business
+// office rule, then other.
+func (p *Prep) classifyAPs() {
+	homes := make(map[APKey]bool, len(p.HomeAPOf))
+	for _, k := range p.HomeAPOf {
+		homes[k] = true
+	}
+	const (
+		officeFrac       = 0.60
+		officeMinSamples = 12 // >= 2 h of association evidence
+	)
+	for k, st := range p.APs {
+		switch {
+		case homes[k]:
+			st.Class = APHome
+		case wifi.IsPublicESSID(k.ESSID):
+			st.Class = APPublic
+		case st.AssocSamples >= officeMinSamples &&
+			float64(st.AssocBusiness) >= officeFrac*float64(st.AssocSamples):
+			st.Class = APOffice
+		default:
+			st.Class = APOther
+		}
+	}
+}
+
+// detectUpdates finds, per iOS device, the first day at or after the
+// release whose WiFi download exceeds the detection threshold, and marks
+// the day and its follower excluded from cleaned analyses.
+func (p *Prep) detectUpdates(nights map[UserDayKey]*nightAgg, release time.Time) {
+	releaseDay := p.Meta.Day(release.Unix())
+	for dev, os := range p.Devices {
+		if os != trace.IOS {
+			continue
+		}
+		for d := releaseDay; d < p.Meta.Days; d++ {
+			key := UserDayKey{Device: dev, Day: d}
+			na := nights[key]
+			if na == nil || na.maxWiFiBytes < updateDetectBytes {
+				continue
+			}
+			p.UpdateDay[dev] = d
+			p.UpdateTime[dev] = na.maxWiFiTime
+			break
+		}
+	}
+	for dev, d := range p.UpdateDay {
+		for _, day := range []int{d, d + 1} {
+			if ud := p.UserDays[UserDayKey{Device: dev, Day: day}]; ud != nil {
+				ud.Excluded = true
+			}
+		}
+	}
+}
+
+// rankDays classifies every non-excluded device-day as light (40th-60th
+// percentile of that day's download volumes), heavy (top 5%), or other.
+// Days below 0.1 MB are omitted from the ranking, as in Fig. 3.
+func (p *Prep) rankDays() {
+	byDay := make(map[int][]*UserDay)
+	for _, ud := range p.UserDays {
+		if ud.Excluded || ud.TotalRX() < 100_000 {
+			continue
+		}
+		byDay[ud.Day] = append(byDay[ud.Day], ud)
+	}
+	for _, days := range byDay {
+		sort.Slice(days, func(i, j int) bool {
+			if days[i].TotalRX() != days[j].TotalRX() {
+				return days[i].TotalRX() < days[j].TotalRX()
+			}
+			return days[i].Device < days[j].Device
+		})
+		n := len(days)
+		for i, ud := range days {
+			q := float64(i) / float64(n)
+			switch {
+			case q >= 0.95:
+				ud.Rank = RankHeavy
+			case q >= 0.40 && q < 0.60:
+				ud.Rank = RankLight
+			default:
+				ud.Rank = RankOther
+			}
+		}
+	}
+}
+
+// RankOf returns the rank of a device-day (RankOther when unknown).
+func (p *Prep) RankOf(dev trace.DeviceID, day int) Rank {
+	if ud, ok := p.UserDays[UserDayKey{Device: dev, Day: day}]; ok {
+		return ud.Rank
+	}
+	return RankOther
+}
+
+// ClassOf returns the class of a pair (APOther when never observed).
+func (p *Prep) ClassOf(k APKey) APClass {
+	if st, ok := p.APs[k]; ok {
+		return st.Class
+	}
+	return APOther
+}
+
+// AtHome reports whether the sample was taken in the device's home grid
+// cell.
+func (p *Prep) AtHome(s *trace.Sample) bool {
+	home, ok := p.HomeCell[s.Device]
+	if !ok {
+		return false
+	}
+	return home.CX == int(s.GeoCX) && home.CY == int(s.GeoCY)
+}

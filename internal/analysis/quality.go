@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"smartusage/internal/stats"
+	"smartusage/internal/trace"
+	"smartusage/internal/wifi"
+)
+
+// RSSIResult is Fig. 15: the density of per-AP maximum associated RSSI at
+// 2.4 GHz, for home and public networks.
+type RSSIResult struct {
+	HomePDF   []stats.Point
+	PublicPDF []stats.Point
+	MeanHome  float64
+	MeanPub   float64
+	// WeakFrac is the fraction of associated networks below -70 dBm (3%
+	// of home, 12% of public in 2015, §3.4.4).
+	WeakFracHome float64
+	WeakFracPub  float64
+}
+
+// RSSI computes Fig. 15 from the prepass.
+func (p *Prep) RSSI() RSSIResult {
+	var home, pub []float64
+	for _, st := range p.APs {
+		if st.AssocSamples == 0 || st.Band != trace.Band24 {
+			continue
+		}
+		v := float64(st.MaxAssocRSSI)
+		switch st.Class {
+		case APHome:
+			home = append(home, v)
+		case APPublic:
+			pub = append(pub, v)
+		}
+	}
+	pdf := func(xs []float64) []stats.Point {
+		if len(xs) == 0 {
+			return nil
+		}
+		return stats.NewHistogram(xs, -90, -20, 35).PDF()
+	}
+	weak := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		n := 0
+		for _, x := range xs {
+			if x < wifi.StrongRSSI {
+				n++
+			}
+		}
+		return float64(n) / float64(len(xs))
+	}
+	return RSSIResult{
+		HomePDF:      pdf(home),
+		PublicPDF:    pdf(pub),
+		MeanHome:     stats.Mean(home),
+		MeanPub:      stats.Mean(pub),
+		WeakFracHome: weak(home),
+		WeakFracPub:  weak(pub),
+	}
+}
+
+// ChannelsResult is Fig. 16: the distribution of associated 2.4 GHz
+// channels for home and public APs. Index 0 is unused; channels run 1-13.
+type ChannelsResult struct {
+	Home   [14]float64
+	Public [14]float64
+	// Ch1Home is home APs' channel-1 mass (high in 2013, dispersed by
+	// 2015, §3.4.5); NonOverlapPub is public mass on channels 1/6/11.
+	Ch1Home       float64
+	NonOverlapPub float64
+}
+
+// Channels computes Fig. 16 from the prepass, weighting each unique
+// associated AP once.
+func (p *Prep) Channels() ChannelsResult {
+	var r ChannelsResult
+	var nHome, nPub int
+	for _, st := range p.APs {
+		if st.AssocSamples == 0 || st.Band != trace.Band24 || st.Channel < 1 || st.Channel > 13 {
+			continue
+		}
+		switch st.Class {
+		case APHome:
+			r.Home[st.Channel]++
+			nHome++
+		case APPublic:
+			r.Public[st.Channel]++
+			nPub++
+		}
+	}
+	if nHome > 0 {
+		for i := range r.Home {
+			r.Home[i] /= float64(nHome)
+		}
+		r.Ch1Home = r.Home[1]
+	}
+	if nPub > 0 {
+		for i := range r.Public {
+			r.Public[i] /= float64(nPub)
+		}
+		r.NonOverlapPub = r.Public[1] + r.Public[6] + r.Public[11]
+	}
+	return r
+}
+
+// PublicAvailability reproduces Fig. 17 and the §3.5 offloading estimate:
+// for WiFi-available intervals (Android, interface on, not associated), how
+// many public networks the device detects per band and strength, and how
+// much cellular download falls inside intervals with a strong public AP in
+// range.
+type PublicAvailability struct {
+	prep *Prep
+
+	// Per-available-interval public AP counts.
+	n24All, n24Strong, n5All, n5Strong []float64
+
+	// Per-device offloading accounting.
+	offloadable map[trace.DeviceID]uint64
+	cellTotal   map[trace.DeviceID]uint64
+	availBins   map[trace.DeviceID]int
+	strongBins  map[trace.DeviceID]int
+	dev5Any     map[trace.DeviceID]bool
+	dev5Strong  map[trace.DeviceID]bool
+}
+
+// NewPublicAvailability returns an empty Fig. 17 accumulator.
+func NewPublicAvailability(prep *Prep) *PublicAvailability {
+	return &PublicAvailability{
+		prep:        prep,
+		offloadable: make(map[trace.DeviceID]uint64),
+		cellTotal:   make(map[trace.DeviceID]uint64),
+		availBins:   make(map[trace.DeviceID]int),
+		strongBins:  make(map[trace.DeviceID]int),
+		dev5Any:     make(map[trace.DeviceID]bool),
+		dev5Strong:  make(map[trace.DeviceID]bool),
+	}
+}
+
+// Add implements Analyzer.
+func (pa *PublicAvailability) Add(s *trace.Sample) {
+	if s.OS != trace.Android {
+		return
+	}
+	pa.cellTotal[s.Device] += s.CellRX
+	if s.WiFiState != trace.WiFiOn {
+		return
+	}
+	pa.availBins[s.Device]++
+	var c24, c24s, c5, c5s int
+	for i := range s.APs {
+		obs := &s.APs[i]
+		if pa.prep.ClassOf(APKey{BSSID: obs.BSSID, ESSID: obs.ESSID}) != APPublic {
+			continue
+		}
+		strong := float64(obs.RSSI) >= wifi.StrongRSSI
+		if obs.Band == trace.Band5 {
+			c5++
+			if strong {
+				c5s++
+			}
+		} else {
+			c24++
+			if strong {
+				c24s++
+			}
+		}
+	}
+	pa.n24All = append(pa.n24All, float64(c24))
+	pa.n24Strong = append(pa.n24Strong, float64(c24s))
+	pa.n5All = append(pa.n5All, float64(c5))
+	pa.n5Strong = append(pa.n5Strong, float64(c5s))
+	if c5 > 0 {
+		pa.dev5Any[s.Device] = true
+	}
+	if c5s > 0 {
+		pa.dev5Strong[s.Device] = true
+	}
+	if c24s+c5s > 0 {
+		pa.offloadable[s.Device] += s.CellRX
+		pa.strongBins[s.Device]++
+	}
+}
+
+// PublicAvailabilityResult holds the Fig. 17 CCDFs and §3.5 estimates.
+type PublicAvailabilityResult struct {
+	CCDF24All    stats.Distribution
+	CCDF24Strong stats.Distribution
+	CCDF5All     stats.Distribution
+	CCDF5Strong  stats.Distribution
+
+	// Frac24Under10 is the share of available intervals seeing fewer than
+	// ten 2.4 GHz public APs ("most users (90%) see fewer than 10").
+	Frac24Under10 float64
+	// Frac5Any / Frac5Strong are the shares of intervals detecting any /
+	// a strong 5 GHz public AP.
+	Frac5Any    float64
+	Frac5Strong float64
+	// Dev5AnyFrac / Dev5StrongFrac are the §3.5 per-user figures: the
+	// share of WiFi-available devices that ever detect any / a strong
+	// 5 GHz public AP (30% / 10% in 2015; 10% / 3% in 2013).
+	Dev5AnyFrac    float64
+	Dev5StrongFrac float64
+
+	// OffloadableFrac is (cellular download during strong-public
+	// intervals) / (total cellular download) over WiFi-available devices
+	// (15-20% in §3.5).
+	OffloadableFrac float64
+	// StrongOpportunityFrac is the share of WiFi-available devices that
+	// ever encounter a strong public AP ("60% of WiFi-available users").
+	StrongOpportunityFrac float64
+}
+
+// minAvailBins qualifies a device as "WiFi-available" for the §3.5
+// estimates: it must spend at least this many intervals on-but-unassociated.
+const minAvailBins = 36 // >= 6 hours over the campaign
+
+// Result finalizes the accumulator.
+func (pa *PublicAvailability) Result() PublicAvailabilityResult {
+	r := PublicAvailabilityResult{
+		CCDF24All:    stats.CCDF(pa.n24All),
+		CCDF24Strong: stats.CCDF(pa.n24Strong),
+		CCDF5All:     stats.CCDF(pa.n5All),
+		CCDF5Strong:  stats.CCDF(pa.n5Strong),
+	}
+	if n := len(pa.n24All); n > 0 {
+		var u10, any5, strong5 int
+		for i := range pa.n24All {
+			if pa.n24All[i] < 10 {
+				u10++
+			}
+			if pa.n5All[i] > 0 {
+				any5++
+			}
+			if pa.n5Strong[i] > 0 {
+				strong5++
+			}
+		}
+		r.Frac24Under10 = float64(u10) / float64(n)
+		r.Frac5Any = float64(any5) / float64(n)
+		r.Frac5Strong = float64(strong5) / float64(n)
+	}
+	var off, tot uint64
+	var devices, withStrong, with5, with5s int
+	for dev, bins := range pa.availBins {
+		if bins < minAvailBins {
+			continue
+		}
+		devices++
+		off += pa.offloadable[dev]
+		tot += pa.cellTotal[dev]
+		if pa.strongBins[dev] > 0 {
+			withStrong++
+		}
+		if pa.dev5Any[dev] {
+			with5++
+		}
+		if pa.dev5Strong[dev] {
+			with5s++
+		}
+	}
+	if tot > 0 {
+		r.OffloadableFrac = float64(off) / float64(tot)
+	}
+	if devices > 0 {
+		r.StrongOpportunityFrac = float64(withStrong) / float64(devices)
+		r.Dev5AnyFrac = float64(with5) / float64(devices)
+		r.Dev5StrongFrac = float64(with5s) / float64(devices)
+	}
+	return r
+}

@@ -1,0 +1,225 @@
+// Package cellular models the cellular side of the study: carriers, the
+// 3G-to-LTE migration across the three campaigns (Table 1), and the Japanese
+// soft bandwidth cap — "a typical bandwidth cap begins after 1GB is received
+// over the previous three days. The download speed of users over the cap
+// will be limited (e.g., 128kbps) during peak hours for the next few days"
+// (§3.8).
+package cellular
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smartusage/internal/trace"
+)
+
+// Carrier is one of the three major Japanese mobile carriers. The paper
+// recruits in proportion to market share and confirms iOS WiFi behaviour is
+// carrier-independent (§3.3.4).
+type Carrier uint8
+
+// Carriers.
+const (
+	CarrierDocomo Carrier = iota
+	CarrierAU
+	CarrierSoftbank
+	NumCarriers
+)
+
+// String implements fmt.Stringer.
+func (c Carrier) String() string {
+	switch c {
+	case CarrierDocomo:
+		return "docomo"
+	case CarrierAU:
+		return "au"
+	case CarrierSoftbank:
+		return "softbank"
+	}
+	return fmt.Sprintf("carrier(%d)", uint8(c))
+}
+
+// carrierShares approximate the era's Japanese market shares used for
+// recruiting (§2).
+var carrierShares = []float64{0.43, 0.28, 0.29}
+
+// SampleCarrier draws a carrier according to market share.
+func SampleCarrier(rng *rand.Rand) Carrier {
+	r := rng.Float64()
+	acc := 0.0
+	for i, s := range carrierShares {
+		acc += s
+		if r < acc {
+			return Carrier(i)
+		}
+	}
+	return CarrierSoftbank
+}
+
+// RATProfile describes the radio-technology mix of a campaign year.
+type RATProfile struct {
+	Year int
+	// LTECapableFrac is the fraction of devices with LTE plans; Table 1's
+	// traffic share (25%/70%/80%) emerges because capable devices carry
+	// nearly all their traffic on LTE.
+	LTECapableFrac float64
+	// LTEUseProb is the per-interval probability an LTE-capable device is
+	// actually camped on LTE (coverage holes put it on 3G otherwise).
+	LTEUseProb float64
+}
+
+// RATProfileForYear returns the migration profile of a campaign year.
+func RATProfileForYear(year int) (RATProfile, error) {
+	switch year {
+	case 2013:
+		return RATProfile{Year: year, LTECapableFrac: 0.38, LTEUseProb: 0.85}, nil
+	case 2014:
+		return RATProfile{Year: year, LTECapableFrac: 0.78, LTEUseProb: 0.93}, nil
+	case 2015:
+		return RATProfile{Year: year, LTECapableFrac: 0.88, LTEUseProb: 0.96}, nil
+	default:
+		return RATProfile{}, fmt.Errorf("cellular: no RAT profile for year %d", year)
+	}
+}
+
+// RATFor returns the RAT a device observes this interval.
+func (p RATProfile) RATFor(capable bool, rng *rand.Rand) trace.RAT {
+	if capable && rng.Float64() < p.LTEUseProb {
+		return trace.RATLTE
+	}
+	return trace.RAT3G
+}
+
+// CapPolicy is the soft bandwidth cap of §3.8.
+type CapPolicy struct {
+	// ThresholdBytes triggers the cap when download volume over the
+	// trailing WindowDays exceeds it (typically 1 GB / 3 days).
+	ThresholdBytes uint64
+	// WindowDays is the trailing accounting window.
+	WindowDays int
+	// LimitBps is the throttled download rate while capped (128 kbps).
+	LimitBps float64
+	// PeakStartHour/PeakEndHour delimit the daily enforcement window
+	// [start, end) in local hours.
+	PeakStartHour int
+	PeakEndHour   int
+	// Enforcement scales how strictly the limit is applied; two carriers
+	// relaxed the policy in February 2015 (§3.8), modelled as a lower
+	// enforcement factor.
+	Enforcement float64
+}
+
+// PolicyForYear returns the cap regime of a campaign year.
+func PolicyForYear(year int) (CapPolicy, error) {
+	base := CapPolicy{
+		ThresholdBytes: 1 << 30, // 1 GiB
+		WindowDays:     3,
+		LimitBps:       128_000,
+		PeakStartHour:  18,
+		PeakEndHour:    24,
+		Enforcement:    1.0,
+	}
+	switch year {
+	case 2013, 2014:
+		return base, nil
+	case 2015:
+		base.Enforcement = 0.45 // policy relaxed by two carriers (§3.8)
+		return base, nil
+	default:
+		return CapPolicy{}, fmt.Errorf("cellular: no cap policy for year %d", year)
+	}
+}
+
+// Validate checks the policy for internal consistency.
+func (p CapPolicy) Validate() error {
+	if p.WindowDays <= 0 {
+		return fmt.Errorf("cellular: cap window %d days", p.WindowDays)
+	}
+	if p.ThresholdBytes == 0 {
+		return fmt.Errorf("cellular: zero cap threshold")
+	}
+	if p.LimitBps <= 0 {
+		return fmt.Errorf("cellular: cap limit %g bps", p.LimitBps)
+	}
+	if p.PeakStartHour < 0 || p.PeakEndHour > 24 || p.PeakStartHour >= p.PeakEndHour {
+		return fmt.Errorf("cellular: cap peak window [%d,%d)", p.PeakStartHour, p.PeakEndHour)
+	}
+	if p.Enforcement < 0 || p.Enforcement > 1 {
+		return fmt.Errorf("cellular: cap enforcement %g", p.Enforcement)
+	}
+	return nil
+}
+
+// IsPeak reports whether hour (0..23) falls in the enforcement window.
+func (p CapPolicy) IsPeak(hour int) bool {
+	return hour >= p.PeakStartHour && hour < p.PeakEndHour
+}
+
+// CapTracker tracks one subscriber's trailing download volume and applies
+// the throttle. The zero value is unusable; use NewCapTracker.
+type CapTracker struct {
+	policy CapPolicy
+	// window holds per-day download bytes; window[0] is today.
+	window []uint64
+}
+
+// NewCapTracker returns a tracker for policy. It panics on an invalid
+// policy, which indicates programmer error.
+func NewCapTracker(policy CapPolicy) *CapTracker {
+	if err := policy.Validate(); err != nil {
+		panic(err)
+	}
+	return &CapTracker{
+		policy: policy,
+		window: make([]uint64, policy.WindowDays+1),
+	}
+}
+
+// Policy returns the tracker's policy.
+func (t *CapTracker) Policy() CapPolicy { return t.policy }
+
+// StartDay rolls the accounting window at local midnight.
+func (t *CapTracker) StartDay() {
+	copy(t.window[1:], t.window[:len(t.window)-1])
+	t.window[0] = 0
+}
+
+// trailing returns download volume over the previous WindowDays full days
+// (excluding today, matching "the previous three days download volume").
+func (t *CapTracker) trailing() uint64 {
+	var sum uint64
+	for _, v := range t.window[1:] {
+		sum += v
+	}
+	return sum
+}
+
+// Capped reports whether the subscriber currently exceeds the threshold.
+func (t *CapTracker) Capped() bool {
+	return t.trailing() > t.policy.ThresholdBytes
+}
+
+// Admit applies the cap to a download demand of want bytes during an
+// interval of seconds at the given local hour, records the admitted bytes,
+// and returns them. Off-peak, or when not capped, demand passes through
+// untouched. Enforcement < 1 blends the throttled and unthrottled volumes,
+// reflecting the relaxed 2015 policies.
+func (t *CapTracker) Admit(want uint64, hour int, seconds float64) uint64 {
+	admitted := want
+	if t.Capped() && t.policy.IsPeak(hour) {
+		limit := uint64(t.policy.LimitBps / 8 * seconds)
+		if want > limit {
+			throttled := limit
+			admitted = throttled + uint64(float64(want-throttled)*(1-t.policy.Enforcement))
+		}
+	}
+	t.window[0] += admitted
+	return admitted
+}
+
+// Today returns bytes recorded since the last StartDay.
+func (t *CapTracker) Today() uint64 { return t.window[0] }
+
+// Trailing returns the download volume of the previous WindowDays full days
+// (the quantity the cap threshold is compared against).
+func (t *CapTracker) Trailing() uint64 { return t.trailing() }

@@ -1,0 +1,230 @@
+package cellular
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smartusage/internal/trace"
+)
+
+func TestSampleCarrierDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := map[Carrier]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[SampleCarrier(rng)]++
+	}
+	for i, want := range carrierShares {
+		got := float64(counts[Carrier(i)]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("carrier %v share %.3f want %.2f", Carrier(i), got, want)
+		}
+	}
+}
+
+func TestRATProfileForYear(t *testing.T) {
+	p13, err := RATProfileForYear(2013)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p15, err := RATProfileForYear(2015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p13.LTECapableFrac >= p15.LTECapableFrac {
+		t.Fatal("LTE capability should grow across years")
+	}
+	if _, err := RATProfileForYear(1999); err == nil {
+		t.Fatal("unknown year accepted")
+	}
+}
+
+func TestRATFor(t *testing.T) {
+	p, _ := RATProfileForYear(2015)
+	rng := rand.New(rand.NewSource(2))
+	if got := p.RATFor(false, rng); got != trace.RAT3G {
+		t.Fatal("incapable device on LTE")
+	}
+	lte := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if p.RATFor(true, rng) == trace.RATLTE {
+			lte++
+		}
+	}
+	if frac := float64(lte) / n; math.Abs(frac-p.LTEUseProb) > 0.02 {
+		t.Fatalf("LTE use frac %.3f want %.2f", frac, p.LTEUseProb)
+	}
+}
+
+func TestPolicyForYear(t *testing.T) {
+	p14, err := PolicyForYear(2014)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p15, err := PolicyForYear(2015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p14.Enforcement != 1.0 {
+		t.Fatal("2014 should enforce fully")
+	}
+	if p15.Enforcement >= p14.Enforcement {
+		t.Fatal("2015 policy should be relaxed (§3.8)")
+	}
+	if _, err := PolicyForYear(2011); err == nil {
+		t.Fatal("unknown year accepted")
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	good, _ := PolicyForYear(2014)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*CapPolicy){
+		func(p *CapPolicy) { p.WindowDays = 0 },
+		func(p *CapPolicy) { p.ThresholdBytes = 0 },
+		func(p *CapPolicy) { p.LimitBps = 0 },
+		func(p *CapPolicy) { p.PeakStartHour = 25 },
+		func(p *CapPolicy) { p.PeakStartHour, p.PeakEndHour = 20, 10 },
+		func(p *CapPolicy) { p.Enforcement = 1.5 },
+	}
+	for i, mutate := range cases {
+		p := good
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid policy accepted", i)
+		}
+	}
+}
+
+func TestIsPeak(t *testing.T) {
+	p, _ := PolicyForYear(2014)
+	if p.IsPeak(12) {
+		t.Fatal("noon is not peak")
+	}
+	if !p.IsPeak(p.PeakStartHour) || p.IsPeak(p.PeakEndHour) {
+		t.Fatal("peak boundary behaviour wrong")
+	}
+}
+
+func TestCapTrackerWindow(t *testing.T) {
+	p, _ := PolicyForYear(2014)
+	tr := NewCapTracker(p)
+
+	// Day 1: 600 MB — not capped (window counts previous days only).
+	tr.StartDay()
+	tr.Admit(600<<20, 12, 600)
+	if tr.Capped() {
+		t.Fatal("capped on same day")
+	}
+	// Day 2: another 600 MB the day before exceeds nothing yet; trailing
+	// is 600 MB.
+	tr.StartDay()
+	if tr.Trailing() != 600<<20 {
+		t.Fatalf("trailing %d", tr.Trailing())
+	}
+	tr.Admit(600<<20, 12, 600)
+	// Day 3: trailing 1.2 GB > 1 GiB → capped.
+	tr.StartDay()
+	if !tr.Capped() {
+		t.Fatal("not capped at 1.2 GB trailing")
+	}
+	// Days roll out of the window after WindowDays.
+	tr.StartDay()
+	tr.StartDay()
+	tr.StartDay()
+	if tr.Capped() {
+		t.Fatal("still capped after window rolled")
+	}
+}
+
+func TestCapTrackerThrottle(t *testing.T) {
+	p, _ := PolicyForYear(2014) // full enforcement
+	tr := NewCapTracker(p)
+	tr.StartDay()
+	tr.Admit(2<<30, 12, 600)
+	tr.StartDay() // trailing 2 GiB → capped
+
+	limit := uint64(p.LimitBps / 8 * 600)
+	// Peak hour: throttled to the limit.
+	got := tr.Admit(50<<20, p.PeakStartHour, 600)
+	if got != limit {
+		t.Fatalf("peak admit %d want %d", got, limit)
+	}
+	// Off-peak: untouched.
+	got = tr.Admit(50<<20, 12, 600)
+	if got != 50<<20 {
+		t.Fatalf("off-peak admit %d", got)
+	}
+	// Demand below the limit is untouched even at peak.
+	small := limit / 2
+	if got := tr.Admit(small, p.PeakStartHour, 600); got != small {
+		t.Fatalf("small peak admit %d", got)
+	}
+}
+
+func TestCapTrackerRelaxedEnforcement(t *testing.T) {
+	p, _ := PolicyForYear(2015)
+	tr := NewCapTracker(p)
+	tr.StartDay()
+	tr.Admit(2<<30, 12, 600)
+	tr.StartDay()
+
+	limit := uint64(p.LimitBps / 8 * 600)
+	want := limit + uint64(float64(50<<20-limit)*(1-p.Enforcement))
+	got := tr.Admit(50<<20, p.PeakStartHour, 600)
+	if got != want {
+		t.Fatalf("relaxed admit %d want %d", got, want)
+	}
+	if got <= limit || got >= 50<<20 {
+		t.Fatal("relaxed enforcement should land between the limit and full demand")
+	}
+}
+
+func TestNewCapTrackerPanicsOnBadPolicy(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCapTracker(CapPolicy{})
+}
+
+// Property: admitted bytes never exceed demand, and daily accounting equals
+// the sum of admissions.
+func TestCapTrackerAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, _ := PolicyForYear(2014)
+		tr := NewCapTracker(p)
+		for day := 0; day < 6; day++ {
+			tr.StartDay()
+			var sum uint64
+			for bin := 0; bin < 24; bin++ {
+				want := uint64(rng.Int63n(100 << 20))
+				got := tr.Admit(want, bin, 600)
+				if got > want {
+					return false
+				}
+				sum += got
+			}
+			if tr.Today() != sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCarrierString(t *testing.T) {
+	if CarrierDocomo.String() != "docomo" || CarrierAU.String() != "au" || CarrierSoftbank.String() != "softbank" {
+		t.Fatal("carrier names wrong")
+	}
+}

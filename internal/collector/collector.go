@@ -1,0 +1,271 @@
+// Package collector implements the central collection server the
+// measurement agents upload to (§2). It accepts authenticated TCP
+// connections speaking the proto wire format, deduplicates batches so agent
+// retries are idempotent, and spools accepted samples to a sink in arrival
+// order.
+package collector
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smartusage/internal/proto"
+	"smartusage/internal/trace"
+)
+
+// Sink receives accepted samples. Implementations must be safe for
+// sequential calls under the collector's internal lock; the sample is reused
+// and must be copied if retained.
+type Sink func(*trace.Sample) error
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:7020".
+	Addr string
+	// Token authenticates agents; empty disables authentication.
+	Token string
+	// Sink receives accepted samples.
+	Sink Sink
+	// ReadTimeout bounds each frame read (default 30 s).
+	ReadTimeout time.Duration
+	// MaxConns caps concurrent connections (default 256).
+	MaxConns int
+	// Logf logs server events; nil uses log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Stats are the server's atomic counters.
+type Stats struct {
+	Conns       atomic.Int64
+	ActiveConns atomic.Int64
+	Batches     atomic.Int64
+	DupBatches  atomic.Int64
+	Samples     atomic.Int64
+	AuthFails   atomic.Int64
+	Errors      atomic.Int64
+}
+
+// Server is the collection server. Create with New, start with Serve.
+type Server struct {
+	cfg   Config
+	stats Stats
+
+	mu        sync.Mutex
+	sink      Sink
+	lastBatch map[trace.DeviceID]uint64 // highest acked batch per device
+
+	sessionID atomic.Uint64
+
+	lis  net.Listener
+	wg   sync.WaitGroup
+	sem  chan struct{}
+	logf func(string, ...any)
+}
+
+// New validates cfg and returns an unstarted Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Sink == nil {
+		return nil, errors.New("collector: nil sink")
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 30 * time.Second
+	}
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = 256
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Server{
+		cfg:       cfg,
+		sink:      cfg.Sink,
+		lastBatch: make(map[trace.DeviceID]uint64),
+		sem:       make(chan struct{}, cfg.MaxConns),
+		logf:      logf,
+	}, nil
+}
+
+// Stats exposes the server counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// Addr returns the bound listen address once Serve has started.
+func (s *Server) Addr() net.Addr {
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// Listen binds the configured address. It is split from Serve so callers can
+// learn the bound port (Addr) before serving, e.g. with Addr ":0" in tests.
+func (s *Server) Listen() error {
+	lis, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("collector: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.lis = lis
+	return nil
+}
+
+// Serve accepts connections until ctx is cancelled, then closes the listener
+// and waits for in-flight connections to finish. Listen must have been
+// called (Serve calls it if not).
+func (s *Server) Serve(ctx context.Context) error {
+	if s.lis == nil {
+		if err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		s.lis.Close()
+	}()
+
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			s.wg.Wait()
+			if ctx.Err() != nil {
+				return nil // clean shutdown
+			}
+			return fmt.Errorf("collector: accept: %w", err)
+		}
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			conn.Close()
+			s.wg.Wait()
+			return nil
+		}
+		s.stats.Conns.Add(1)
+		s.stats.ActiveConns.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer func() {
+				conn.Close()
+				<-s.sem
+				s.stats.ActiveConns.Add(-1)
+				s.wg.Done()
+			}()
+			if err := s.handle(ctx, conn); err != nil && !errors.Is(err, io.EOF) {
+				s.stats.Errors.Add(1)
+				s.logf("collector: %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// handle drives one agent connection.
+func (s *Server) handle(ctx context.Context, nc net.Conn) error {
+	c := proto.NewConn(nc)
+	deadline := func() {
+		nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	}
+
+	deadline()
+	ft, payload, err := c.ReadFrame()
+	if err != nil {
+		return fmt.Errorf("read hello: %w", err)
+	}
+	if ft != proto.FrameHello {
+		return s.fail(c, "expected hello, got %s", ft)
+	}
+	var hello proto.Hello
+	if err := proto.DecodeHello(payload, &hello); err != nil {
+		return s.fail(c, "bad hello: %v", err)
+	}
+	if hello.Version != proto.Version {
+		return s.fail(c, "unsupported version %d", hello.Version)
+	}
+	if !hello.OS.Valid() {
+		return s.fail(c, "invalid os %d", hello.OS)
+	}
+	if s.cfg.Token != "" && hello.Token != s.cfg.Token {
+		s.stats.AuthFails.Add(1)
+		return s.fail(c, "authentication failed")
+	}
+	ack := proto.HelloAck{SessionID: s.sessionID.Add(1)}
+	if err := c.WriteFrame(proto.FrameHelloAck, proto.AppendHelloAck(nil, &ack)); err != nil {
+		return err
+	}
+
+	var batch proto.Batch
+	var out []byte
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		deadline()
+		ft, payload, err := c.ReadFrame()
+		if err != nil {
+			return fmt.Errorf("read frame: %w", err)
+		}
+		switch ft {
+		case proto.FrameBye:
+			return nil
+		case proto.FrameBatch:
+			if err := proto.DecodeBatch(payload, &batch); err != nil {
+				return s.fail(c, "bad batch: %v", err)
+			}
+			accepted, err := s.accept(hello.Device, &batch)
+			if err != nil {
+				return fmt.Errorf("sink: %w", err)
+			}
+			back := proto.BatchAck{BatchID: batch.BatchID, Accepted: accepted}
+			out = proto.AppendBatchAck(out[:0], &back)
+			if err := c.WriteFrame(proto.FrameBatchAck, out); err != nil {
+				return err
+			}
+		default:
+			return s.fail(c, "unexpected frame %s", ft)
+		}
+	}
+}
+
+// accept deduplicates and spools a batch, returning how many samples were
+// newly accepted.
+func (s *Server) accept(dev trace.DeviceID, b *proto.Batch) (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Batches.Add(1)
+	if last, ok := s.lastBatch[dev]; ok && b.BatchID <= last {
+		s.stats.DupBatches.Add(1)
+		return 0, nil
+	}
+	for i := range b.Samples {
+		sample := &b.Samples[i]
+		if sample.Device != dev {
+			return 0, fmt.Errorf("collector: batch sample device %s != session device %s", sample.Device, dev)
+		}
+		if err := sample.Validate(); err != nil {
+			return 0, err
+		}
+		if err := s.sink(sample); err != nil {
+			return 0, err
+		}
+	}
+	s.lastBatch[dev] = b.BatchID
+	s.stats.Samples.Add(int64(len(b.Samples)))
+	return uint32(len(b.Samples)), nil
+}
+
+// fail sends an error frame then reports the failure to the caller.
+func (s *Server) fail(c *proto.Conn, format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	ef := proto.ErrorFrame{Message: msg}
+	_ = c.WriteFrame(proto.FrameError, proto.AppendErrorFrame(nil, &ef))
+	return errors.New("collector: " + msg)
+}

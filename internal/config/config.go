@@ -1,0 +1,194 @@
+// Package config assembles the per-campaign configuration: dates and panel
+// sizes from Table 1, the calibrated parameter sets of every substrate
+// (population, WiFi deployment, cellular migration, bandwidth cap), the
+// demand model, and the 2015 iOS-update event. Each constant is annotated
+// with the paper observation it is calibrated against.
+package config
+
+import (
+	"fmt"
+	"time"
+
+	"smartusage/internal/cellular"
+	"smartusage/internal/population"
+	"smartusage/internal/wifi"
+)
+
+// JST is the campaign time zone (the paper reports all clocks in JST).
+var JST = time.FixedZone("JST", 9*60*60)
+
+// UpdateEvent models the iOS 8.2 release that lands mid-campaign in 2015:
+// "the size of the update is 565MB ... Apple only allows iOS upgrades on
+// WiFi" (§3.7).
+type UpdateEvent struct {
+	// SizeBytes is the update download size.
+	SizeBytes uint64
+	// Release is when devices first see the update.
+	Release time.Time
+	// AdoptProbHomeAP / AdoptProbNoHomeAP are the probabilities a device
+	// with / without a home AP attempts the update during the campaign.
+	// Only 14% of no-home-AP users complete it (§3.7); attempts that
+	// never meet WiFi never complete.
+	AdoptProbHomeAP   float64
+	AdoptProbNoHomeAP float64
+	// MeanDelayDays shapes the exponential bulk of the adoption curve;
+	// half of updaters go in the first four days (§3.7).
+	MeanDelayDays float64
+	// WeekendBoost multiplies the chance that a pending update executes
+	// on the first weekend, producing Fig. 18's hump (b).
+	WeekendBoost float64
+}
+
+// Campaign is the full configuration of one measurement campaign.
+type Campaign struct {
+	Year  int
+	Seed  int64
+	Scale float64
+
+	// Start is local midnight of the first measured day; Days is the
+	// campaign length (Table 1's date ranges).
+	Start time.Time
+	Days  int
+
+	// DemandMedianMB is the median user's daily download demand in MB
+	// before interface effects; combined with WiFiDemandBoost it
+	// calibrates Table 3's medians.
+	DemandMedianMB float64
+	// DaySigma is the log-space day-to-day volatility of one user's
+	// demand ("one user may be a light user one day and heavy hitter on
+	// another", §2).
+	DaySigma float64
+	// WiFiDemandBoost multiplies demand in WiFi-associated intervals:
+	// users consume more when the network is free and fast (§3.6, §4.4).
+	WiFiDemandBoost float64
+	// ForceAutoJoin is a what-if switch (not part of any calibrated
+	// campaign): devices with WiFi enabled always join a strong public AP
+	// when one is in range, the behaviour §3.5's offloadability estimate
+	// assumes. See examples/offloadwhatif.
+	ForceAutoJoin bool
+
+	// HomeAssocProb is the per-interval probability a home-AP owner at
+	// home is actually associated.
+	HomeAssocProb float64
+	// OfficeAssocProb is the equivalent at a BYOD office.
+	OfficeAssocProb float64
+
+	Population population.Params
+	Deploy     wifi.DeployParams
+	RAT        cellular.RATProfile
+	Cap        cellular.CapPolicy
+
+	// Update is non-nil only for 2015.
+	Update *UpdateEvent
+}
+
+// Years lists the campaign years in order.
+var Years = []int{2013, 2014, 2015}
+
+// ForYear builds the calibrated campaign configuration for a year. scale
+// shrinks the panel (and the AP deployment observed through it) for tests
+// and quick runs; 1.0 reproduces the paper's panel sizes. The seed
+// deterministically drives every random draw of the campaign.
+func ForYear(year int, scale float64, seed int64) (Campaign, error) {
+	if scale <= 0 || scale > 4 {
+		return Campaign{}, fmt.Errorf("config: scale %g out of range (0, 4]", scale)
+	}
+	pop, err := population.ParamsForYear(year, scale)
+	if err != nil {
+		return Campaign{}, err
+	}
+	dep, err := wifi.DeployParamsForYear(year, scale)
+	if err != nil {
+		return Campaign{}, err
+	}
+	rat, err := cellular.RATProfileForYear(year)
+	if err != nil {
+		return Campaign{}, err
+	}
+	cap, err := cellular.PolicyForYear(year)
+	if err != nil {
+		return Campaign{}, err
+	}
+
+	c := Campaign{
+		Year:       year,
+		Seed:       seed,
+		Scale:      scale,
+		DaySigma:   0.65,
+		Population: pop,
+		Deploy:     dep,
+		RAT:        rat,
+		Cap:        cap,
+	}
+	switch year {
+	case 2013:
+		// 07 Mar - 22 Mar (Table 1).
+		c.Start = time.Date(2013, 3, 7, 0, 0, 0, 0, JST)
+		c.Days = 16
+		c.DemandMedianMB = 48 // → median all-RX ≈ 58 MB/day (Table 3)
+		c.WiFiDemandBoost = 1.5
+		c.HomeAssocProb = 0.87
+		c.OfficeAssocProb = 0.55
+	case 2014:
+		// 28 Feb - 22 Mar.
+		c.Start = time.Date(2014, 2, 28, 0, 0, 0, 0, JST)
+		c.Days = 23
+		c.DemandMedianMB = 68 // → ≈ 90 MB/day
+		c.WiFiDemandBoost = 2.0
+		c.HomeAssocProb = 0.84
+		c.OfficeAssocProb = 0.58
+	case 2015:
+		// 25 Feb - 25 Mar.
+		c.Start = time.Date(2015, 2, 25, 0, 0, 0, 0, JST)
+		c.Days = 29
+		c.DemandMedianMB = 99 // → ≈ 126 MB/day
+		c.WiFiDemandBoost = 2.1
+		c.HomeAssocProb = 0.86
+		c.OfficeAssocProb = 0.60
+		c.Update = &UpdateEvent{
+			SizeBytes:         565 << 20,
+			Release:           time.Date(2015, 3, 10, 9, 0, 0, 0, JST),
+			AdoptProbHomeAP:   0.76,
+			AdoptProbNoHomeAP: 0.90,
+			MeanDelayDays:     3.5,
+			WeekendBoost:      2.0,
+		}
+	default:
+		return Campaign{}, fmt.Errorf("config: no campaign for year %d", year)
+	}
+	return c, nil
+}
+
+// End returns local midnight after the last measured day.
+func (c Campaign) End() time.Time { return c.Start.AddDate(0, 0, c.Days) }
+
+// DayStart returns local midnight of day d (0-based).
+func (c Campaign) DayStart(d int) time.Time { return c.Start.AddDate(0, 0, d) }
+
+// Validate checks configuration consistency.
+func (c Campaign) Validate() error {
+	if c.Days <= 0 {
+		return fmt.Errorf("config: campaign %d has %d days", c.Year, c.Days)
+	}
+	if c.DemandMedianMB <= 0 {
+		return fmt.Errorf("config: campaign %d demand median %g", c.Year, c.DemandMedianMB)
+	}
+	if c.WiFiDemandBoost < 1 {
+		return fmt.Errorf("config: campaign %d WiFi boost %g < 1", c.Year, c.WiFiDemandBoost)
+	}
+	if c.HomeAssocProb <= 0 || c.HomeAssocProb > 1 {
+		return fmt.Errorf("config: campaign %d home assoc prob %g", c.Year, c.HomeAssocProb)
+	}
+	if err := c.Cap.Validate(); err != nil {
+		return err
+	}
+	if c.Update != nil {
+		if c.Update.SizeBytes == 0 {
+			return fmt.Errorf("config: campaign %d empty update", c.Year)
+		}
+		if c.Update.Release.Before(c.Start) || !c.Update.Release.Before(c.End()) {
+			return fmt.Errorf("config: campaign %d update outside campaign window", c.Year)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package config
+
+import (
+	"testing"
+	"time"
+)
+
+func TestForYearAllYears(t *testing.T) {
+	for _, year := range Years {
+		c, err := ForYear(year, 1.0, 1)
+		if err != nil {
+			t.Fatalf("%d: %v", year, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%d: %v", year, err)
+		}
+		if c.Start.Location() != JST {
+			t.Fatalf("%d: campaign not in JST", year)
+		}
+	}
+}
+
+func TestForYearErrors(t *testing.T) {
+	if _, err := ForYear(2016, 1, 1); err == nil {
+		t.Fatal("unknown year accepted")
+	}
+	if _, err := ForYear(2015, 0, 1); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if _, err := ForYear(2015, 5, 1); err == nil {
+		t.Fatal("huge scale accepted")
+	}
+}
+
+func TestCampaignDates(t *testing.T) {
+	c13, _ := ForYear(2013, 1, 1)
+	if c13.Start.Month() != time.March || c13.Start.Day() != 7 {
+		t.Fatalf("2013 start %v (Table 1: 07 Mar)", c13.Start)
+	}
+	c15, _ := ForYear(2015, 1, 1)
+	if c15.Start.Month() != time.February || c15.Start.Day() != 25 {
+		t.Fatalf("2015 start %v (Table 1: 25 Feb)", c15.Start)
+	}
+	if got := c15.DayStart(1).Sub(c15.DayStart(0)); got != 24*time.Hour {
+		t.Fatalf("day step %v", got)
+	}
+	if got := c15.End().Sub(c15.Start); got != time.Duration(c15.Days)*24*time.Hour {
+		t.Fatalf("campaign span %v for %d days", got, c15.Days)
+	}
+}
+
+func TestUpdateEventOnly2015(t *testing.T) {
+	for _, year := range Years {
+		c, _ := ForYear(year, 1, 1)
+		if (year == 2015) != (c.Update != nil) {
+			t.Fatalf("%d: update event presence wrong", year)
+		}
+	}
+	c15, _ := ForYear(2015, 1, 1)
+	if c15.Update.SizeBytes != 565<<20 {
+		t.Fatalf("update size %d, want 565 MB (§3.7)", c15.Update.SizeBytes)
+	}
+	rel := c15.Update.Release
+	if rel.Year() != 2015 || rel.Month() != time.March || rel.Day() != 10 {
+		t.Fatalf("release %v, want March 10 2015", rel)
+	}
+	if rel.Before(c15.Start) || !rel.Before(c15.End()) {
+		t.Fatal("release outside campaign window")
+	}
+}
+
+func TestGrowthAcrossYears(t *testing.T) {
+	c13, _ := ForYear(2013, 1, 1)
+	c15, _ := ForYear(2015, 1, 1)
+	if c13.DemandMedianMB >= c15.DemandMedianMB {
+		t.Fatal("demand should grow across campaigns")
+	}
+	if c13.Deploy.Public5GHzFrac >= c15.Deploy.Public5GHzFrac {
+		t.Fatal("public 5 GHz share should grow")
+	}
+	if c13.Population.HomeAPFrac >= c15.Population.HomeAPFrac {
+		t.Fatal("home AP ownership should grow")
+	}
+	if c13.Cap.Enforcement <= c15.Cap.Enforcement {
+		t.Fatal("cap enforcement should relax in 2015 (§3.8)")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	base, _ := ForYear(2015, 1, 1)
+	cases := []func(*Campaign){
+		func(c *Campaign) { c.Days = 0 },
+		func(c *Campaign) { c.DemandMedianMB = -1 },
+		func(c *Campaign) { c.WiFiDemandBoost = 0.5 },
+		func(c *Campaign) { c.HomeAssocProb = 0 },
+		func(c *Campaign) { c.HomeAssocProb = 1.5 },
+		func(c *Campaign) { c.Cap.WindowDays = 0 },
+		func(c *Campaign) { u := *c.Update; u.SizeBytes = 0; c.Update = &u },
+		func(c *Campaign) {
+			u := *c.Update
+			u.Release = c.Start.AddDate(0, -1, 0)
+			c.Update = &u
+		},
+	}
+	for i, mutate := range cases {
+		c := base
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: corrupt campaign accepted", i)
+		}
+	}
+}

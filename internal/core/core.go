@@ -1,0 +1,287 @@
+// Package core is the public façade of the reproduction: it orchestrates a
+// full campaign (world generation → simulation → prepass → analyzers →
+// survey) and bundles every per-year experiment result, plus the
+// cross-year aggregations (Table 3 growth, §4.1 implications).
+//
+// Typical use:
+//
+//	study, err := core.RunStudy(core.Options{Scale: 0.25, Seed: 42})
+//	...
+//	fmt.Println(study.Runs[2015].Ratios.All.MeanTrafficRatio)
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"smartusage/internal/analysis"
+	"smartusage/internal/config"
+	"smartusage/internal/macro"
+	"smartusage/internal/sim"
+	"smartusage/internal/survey"
+	"smartusage/internal/trace"
+)
+
+// Options configures a study run.
+type Options struct {
+	// Scale shrinks the panel; 1.0 reproduces the paper's ~1700 users per
+	// campaign. Zero defaults to 0.25, which preserves every reported
+	// shape at a fraction of the cost.
+	Scale float64
+	// Seed drives all randomness; zero defaults to 1.
+	Seed int64
+	// TraceDir, when non-empty, spools each campaign's trace to
+	// <TraceDir>/campaign-<year>.trace and streams analyses from disk
+	// instead of memory.
+	TraceDir string
+	// Years restricts the campaigns to run; nil means all three.
+	Years []int
+	// Workers parallelizes the simulation across goroutines (the output
+	// stream is identical regardless); 0 keeps it sequential, negative
+	// uses GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 0.25
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Years == nil {
+		o.Years = config.Years
+	}
+	return o
+}
+
+// CampaignRun bundles one campaign's configuration, generated world, and
+// every experiment result.
+type CampaignRun struct {
+	Cfg  config.Campaign
+	Sim  *sim.Simulator
+	Prep *analysis.Prep
+
+	Overview    analysis.Overview
+	Volumes     analysis.DailyVolumes
+	VolumeStats analysis.VolumeStats
+	UserTypes   analysis.UserTypes
+	Aggregate   analysis.AggregateResult
+	Ratios      analysis.WiFiRatiosResult
+	IfaceState  analysis.InterfaceStateResult
+	Census      analysis.APCensus
+	Density     analysis.APDensity
+	Location    analysis.LocationTrafficResult
+	APsPerDay   analysis.APsPerDayResult
+	Durations   analysis.AssocDurationResult
+	BandShare   analysis.BandShare
+	RSSI        analysis.RSSIResult
+	Channels    analysis.ChannelsResult
+	PublicAvail analysis.PublicAvailabilityResult
+	Apps        analysis.AppBreakdownResult
+	CapEffect   analysis.CapEffectResult
+	Interfere   analysis.InterferenceResult
+	Battery     analysis.BatteryResult
+	Carriers    analysis.CarrierRatiosResult
+	// Update is non-nil for the 2015 campaign.
+	Update *analysis.UpdateTimingResult
+	Survey *survey.Result
+}
+
+// RunCampaign simulates and analyzes one campaign year with the calibrated
+// configuration.
+func RunCampaign(year int, opts Options) (*CampaignRun, error) {
+	opts = opts.withDefaults()
+	cfg, err := config.ForYear(year, opts.Scale, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return RunWithConfig(cfg, opts)
+}
+
+// RunWithConfig simulates and analyzes a custom campaign configuration —
+// the entry point for what-if studies that perturb policies (see
+// examples/capsim).
+func RunWithConfig(cfg config.Campaign, opts Options) (*CampaignRun, error) {
+	opts = opts.withDefaults()
+	sm, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	src, cleanup, err := runToSource(sm, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	return AnalyzeCampaign(cfg, sm, src)
+}
+
+// runToSource executes the simulation once, spooling samples to memory or
+// disk, and returns a restartable Source over them.
+func runToSource(sm *sim.Simulator, opts Options) (analysis.Source, func(), error) {
+	runSim := func(sink sim.Sink) error {
+		if opts.Workers != 0 {
+			return sm.RunConcurrent(opts.Workers, sink)
+		}
+		return sm.Run(sink)
+	}
+	if opts.TraceDir == "" {
+		var buf bytes.Buffer
+		w := trace.NewWriter(&buf)
+		if err := runSim(w.Write); err != nil {
+			return nil, nil, fmt.Errorf("core: simulate %d: %w", sm.Cfg.Year, err)
+		}
+		if err := w.Flush(); err != nil {
+			return nil, nil, err
+		}
+		data := buf.Bytes()
+		src := func(fn func(*trace.Sample) error) error {
+			return trace.NewReader(bytes.NewReader(data)).ReadAll(fn)
+		}
+		return src, func() {}, nil
+	}
+	if err := os.MkdirAll(opts.TraceDir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("core: trace dir: %w", err)
+	}
+	path := filepath.Join(opts.TraceDir, fmt.Sprintf("campaign-%d.trace", sm.Cfg.Year))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: create trace: %w", err)
+	}
+	w := trace.NewWriter(f)
+	if err := runSim(w.Write); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("core: simulate %d: %w", sm.Cfg.Year, err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, nil, fmt.Errorf("core: close trace: %w", err)
+	}
+	return analysis.FileSource(path), func() {}, nil
+}
+
+// AnalyzeCampaign runs the two-pass analysis pipeline over an existing
+// sample source. sm may be nil when analyzing a trace without its world
+// (the survey is skipped in that case).
+func AnalyzeCampaign(cfg config.Campaign, sm *sim.Simulator, src analysis.Source) (*CampaignRun, error) {
+	meta := analysis.MetaFor(cfg)
+	var release *time.Time
+	if cfg.Update != nil {
+		release = &cfg.Update.Release
+	}
+	prep, err := analysis.BuildPrep(meta, src, release)
+	if err != nil {
+		return nil, fmt.Errorf("core: prepass %d: %w", cfg.Year, err)
+	}
+
+	agg := analysis.NewAggregate(meta)
+	ratios := analysis.NewWiFiRatios(meta, prep)
+	ifstate := analysis.NewInterfaceState(meta)
+	location := analysis.NewLocationTraffic(meta, prep)
+	apsPerDay := analysis.NewAPsPerDay(meta, prep)
+	durations := analysis.NewAssocDuration(meta, prep)
+	publicAvail := analysis.NewPublicAvailability(prep)
+	appBreak := analysis.NewAppBreakdown(meta, prep)
+	battery := analysis.NewBattery(meta)
+	carriers := analysis.NewCarrierRatios()
+
+	cleaned := []analysis.Analyzer{agg, ratios, ifstate, location, apsPerDay, durations, publicAvail, appBreak, battery, carriers}
+	var raw []analysis.Analyzer
+	var updateTiming *analysis.UpdateTiming
+	if release != nil {
+		updateTiming = analysis.NewUpdateTiming(meta, prep, *release)
+		raw = append(raw, updateTiming)
+	}
+	if err := analysis.Run(src, prep, cleaned, raw); err != nil {
+		return nil, fmt.Errorf("core: analysis pass %d: %w", cfg.Year, err)
+	}
+
+	run := &CampaignRun{
+		Cfg:         cfg,
+		Sim:         sm,
+		Prep:        prep,
+		Overview:    prep.Overview(),
+		Volumes:     prep.DailyVolumes(),
+		VolumeStats: prep.VolumeStats(),
+		UserTypes:   prep.UserTypes(),
+		Aggregate:   agg.Result(),
+		Ratios:      ratios.Result(),
+		IfaceState:  ifstate.Result(),
+		Census:      prep.APCensus(),
+		Density:     prep.APDensity(),
+		Location:    location.Result(),
+		APsPerDay:   apsPerDay.Result(),
+		Durations:   durations.Result(),
+		BandShare:   prep.BandShare(),
+		RSSI:        prep.RSSI(),
+		Channels:    prep.Channels(),
+		PublicAvail: publicAvail.Result(),
+		Apps:        appBreak.Result(),
+		CapEffect:   prep.CapEffectWithThreshold(cfg.Cap.ThresholdBytes),
+		Interfere:   prep.Interference(),
+		Battery:     battery.Result(),
+		Carriers:    carriers.Result(),
+	}
+	if updateTiming != nil {
+		r := updateTiming.Result()
+		run.Update = &r
+	}
+	if sm != nil {
+		srng := rand.New(rand.NewSource(cfg.Seed + 7919))
+		sv, err := survey.Conduct(cfg.Year, sm.Panel, prep, srng)
+		if err != nil {
+			return nil, fmt.Errorf("core: survey %d: %w", cfg.Year, err)
+		}
+		run.Survey = sv
+	}
+	return run, nil
+}
+
+// Study holds every campaign's results.
+type Study struct {
+	Opts Options
+	Runs map[int]*CampaignRun
+}
+
+// RunStudy runs all requested campaigns.
+func RunStudy(opts Options) (*Study, error) {
+	opts = opts.withDefaults()
+	st := &Study{Opts: opts, Runs: make(map[int]*CampaignRun, len(opts.Years))}
+	for _, year := range opts.Years {
+		run, err := RunCampaign(year, opts)
+		if err != nil {
+			return nil, err
+		}
+		st.Runs[year] = run
+	}
+	return st, nil
+}
+
+// Growth assembles Table 3 across the study's years (in ascending order).
+func (s *Study) Growth() (analysis.GrowthTable, error) {
+	var years []analysis.VolumeStats
+	for _, y := range config.Years {
+		if run, ok := s.Runs[y]; ok {
+			years = append(years, run.VolumeStats)
+		}
+	}
+	return analysis.Growth(years)
+}
+
+// Implications evaluates §4.1 from the 2015 campaign.
+func (s *Study) Implications() (macro.Implications, error) {
+	run, ok := s.Runs[2015]
+	if !ok {
+		return macro.Implications{}, fmt.Errorf("core: implications need the 2015 campaign")
+	}
+	homeShare := run.Location.Share[analysis.APHome]
+	return macro.ComputeImplications(2015,
+		run.VolumeStats.MedianCell, run.VolumeStats.MedianWiFi, homeShare)
+}

@@ -1,0 +1,86 @@
+// Package macro models the national-scale context data of the paper:
+// Fig. 1's residential-broadband vs cellular download growth in Japan
+// (sourced from MIC statistics in the paper) and the per-subscriber
+// broadband volume used by the §4.1 implication arithmetic.
+package macro
+
+import "fmt"
+
+// YearPoint is one year of the Fig. 1 series (download volume in Gbit/s).
+type YearPoint struct {
+	Year     int
+	RBBGbps  float64 // residential broadband user download
+	CellGbps float64 // cellular (3G+LTE) user download
+}
+
+// Fig1Series approximates the MIC aggregate curves of Fig. 1: residential
+// broadband grows roughly 20%/year through the period; cellular download is
+// negligible before smartphones and reaches 20% of broadband volume by the
+// end of 2014 (§1).
+var Fig1Series = []YearPoint{
+	{2006, 600, 0},
+	{2007, 720, 0},
+	{2008, 870, 10},
+	{2009, 1020, 25},
+	{2010, 1190, 60},
+	{2011, 1390, 130},
+	{2012, 1650, 250},
+	{2013, 1980, 400},
+	{2014, 2390, 480},
+	{2015, 2900, 580},
+}
+
+// CellShareOfRBB returns cellular download volume as a fraction of
+// residential broadband download for a year.
+func CellShareOfRBB(year int) (float64, error) {
+	for _, p := range Fig1Series {
+		if p.Year == year {
+			if p.RBBGbps == 0 {
+				return 0, fmt.Errorf("macro: year %d has no broadband volume", year)
+			}
+			return p.CellGbps / p.RBBGbps, nil
+		}
+	}
+	return 0, fmt.Errorf("macro: no Fig.1 data for year %d", year)
+}
+
+// RBBMedianPerUserMBDay is the median daily download volume of a
+// residential broadband customer in a Japanese ISP as of 2015 (436 MB/day,
+// §4.1 citing the IIJ broadband traffic report).
+const RBBMedianPerUserMBDay = 436.0
+
+// Implications computes the §4.1 arithmetic from measured medians.
+type Implications struct {
+	// WiFiToCellRatio is median WiFi RX / median cellular RX (1.4:1 in
+	// 2015).
+	WiFiToCellRatio float64
+	// SmartphoneWiFiShare is WiFi's share of median smartphone download
+	// (58%).
+	SmartphoneWiFiShare float64
+	// OffloadShareOfRBB estimates smartphone WiFi traffic as a share of
+	// residential broadband volume: cellular-share-of-RBB x
+	// WiFi-to-cell ratio x home fraction (≈28%).
+	OffloadShareOfRBB float64
+	// PerHomeShare is one smartphone's WiFi median over the broadband
+	// median per customer (≈12%).
+	PerHomeShare float64
+}
+
+// ComputeImplications evaluates §4.1 for the given measured medians
+// (MB/day) and the home share of WiFi volume (≈0.95).
+func ComputeImplications(year int, medianCellMB, medianWiFiMB, homeShare float64) (Implications, error) {
+	if medianCellMB <= 0 || medianWiFiMB <= 0 {
+		return Implications{}, fmt.Errorf("macro: non-positive medians %g/%g", medianCellMB, medianWiFiMB)
+	}
+	cellShare, err := CellShareOfRBB(year)
+	if err != nil {
+		return Implications{}, err
+	}
+	im := Implications{
+		WiFiToCellRatio:     medianWiFiMB / medianCellMB,
+		SmartphoneWiFiShare: medianWiFiMB / (medianWiFiMB + medianCellMB),
+	}
+	im.OffloadShareOfRBB = cellShare * im.WiFiToCellRatio * homeShare
+	im.PerHomeShare = medianWiFiMB / RBBMedianPerUserMBDay
+	return im, nil
+}

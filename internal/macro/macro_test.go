@@ -1,0 +1,70 @@
+package macro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFig1SeriesMonotone(t *testing.T) {
+	for i := 1; i < len(Fig1Series); i++ {
+		prev, cur := Fig1Series[i-1], Fig1Series[i]
+		if cur.Year != prev.Year+1 {
+			t.Fatalf("year gap at %d", cur.Year)
+		}
+		if cur.RBBGbps <= prev.RBBGbps {
+			t.Fatalf("broadband volume not growing at %d", cur.Year)
+		}
+		if cur.CellGbps < prev.CellGbps {
+			t.Fatalf("cellular volume shrinking at %d", cur.Year)
+		}
+	}
+}
+
+func TestCellShare2014IsTwentyPercent(t *testing.T) {
+	share, err := CellShareOfRBB(2014)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §1: "cellular traffic volume ... accounted for 20% of the residential
+	// broadband traffic volume at the end of 2014".
+	if math.Abs(share-0.20) > 0.015 {
+		t.Fatalf("2014 share %.3f want ~0.20", share)
+	}
+}
+
+func TestCellShareErrors(t *testing.T) {
+	if _, err := CellShareOfRBB(1999); err == nil {
+		t.Fatal("unknown year accepted")
+	}
+}
+
+func TestImplicationsPaperNumbers(t *testing.T) {
+	// Feeding the paper's own 2015 medians must reproduce §4.1.
+	im, err := ComputeImplications(2015, 35.6, 50.7, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(im.WiFiToCellRatio-1.42) > 0.03 {
+		t.Fatalf("ratio %.2f want ~1.4", im.WiFiToCellRatio)
+	}
+	if math.Abs(im.SmartphoneWiFiShare-0.587) > 0.01 {
+		t.Fatalf("share %.3f want ~0.59", im.SmartphoneWiFiShare)
+	}
+	// 20% x 1.4 x 0.95 ≈ 0.27-0.28.
+	if math.Abs(im.OffloadShareOfRBB-0.27) > 0.03 {
+		t.Fatalf("RBB share %.3f want ~0.28", im.OffloadShareOfRBB)
+	}
+	// 50.7 / 436 ≈ 0.116.
+	if math.Abs(im.PerHomeShare-0.116) > 0.01 {
+		t.Fatalf("per-home share %.3f want ~0.12", im.PerHomeShare)
+	}
+}
+
+func TestImplicationsErrors(t *testing.T) {
+	if _, err := ComputeImplications(2015, 0, 50, 0.9); err == nil {
+		t.Fatal("zero median accepted")
+	}
+	if _, err := ComputeImplications(1990, 30, 50, 0.9); err == nil {
+		t.Fatal("unknown year accepted")
+	}
+}

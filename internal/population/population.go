@@ -1,0 +1,447 @@
+// Package population synthesizes the recruited user panel: the occupation
+// demographics of Table 2, the cellular-intensive / WiFi-intensive / mixed
+// split of §3.3.1, home-AP ownership and office BYOD access, per-user
+// traffic-volume scale (producing the light-user/heavy-hitter dichotomy the
+// paper analyzes throughout), and device/OS/carrier assignment.
+package population
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"smartusage/internal/apps"
+	"smartusage/internal/cellular"
+	"smartusage/internal/geo"
+	"smartusage/internal/trace"
+	"smartusage/internal/wifi"
+)
+
+// Occupation is a Table 2 demographic class.
+type Occupation uint8
+
+// Occupations, in Table 2 order.
+const (
+	OccGovernment Occupation = iota
+	OccOffice
+	OccEngineer
+	OccWorkerOther
+	OccProfessional
+	OccSelfOwned
+	OccPartTimer
+	OccHousewife
+	OccStudent
+	OccOther
+	NumOccupations
+)
+
+var occupationNames = [NumOccupations]string{
+	"government worker", "office worker", "engineer", "worker (other)",
+	"professional", "self-owned business", "part timer", "housewife",
+	"student", "other",
+}
+
+// String implements fmt.Stringer.
+func (o Occupation) String() string {
+	if o < NumOccupations {
+		return occupationNames[o]
+	}
+	return fmt.Sprintf("occupation(%d)", uint8(o))
+}
+
+// Commutes reports whether the occupation implies a weekday commute to a
+// fixed workplace.
+func (o Occupation) Commutes() bool {
+	switch o {
+	case OccGovernment, OccOffice, OccEngineer, OccWorkerOther, OccProfessional:
+		return true
+	}
+	return false
+}
+
+// OccupationShares transcribes Table 2 (percent) for each campaign year.
+var OccupationShares = map[int][NumOccupations]float64{
+	2013: {2.1, 20.0, 16.7, 12.8, 2.4, 6.1, 9.0, 15.0, 9.6, 6.3},
+	2014: {3.4, 20.1, 14.7, 13.7, 2.0, 6.7, 10.1, 14.2, 8.3, 6.8},
+	2015: {2.4, 23.6, 16.6, 13.2, 2.8, 5.6, 10.6, 13.3, 2.7, 7.1},
+}
+
+// Intensity is the §3.3.1 user typology read off the Fig. 5 heat map.
+type Intensity uint8
+
+// Intensity classes.
+const (
+	CellularIntensive Intensity = iota // WiFi effectively unused
+	WiFiIntensive                      // cellular effectively unused
+	Mixed                              // uses both networks
+	NumIntensities
+)
+
+// String implements fmt.Stringer.
+func (i Intensity) String() string {
+	switch i {
+	case CellularIntensive:
+		return "cellular-intensive"
+	case WiFiIntensive:
+		return "wifi-intensive"
+	case Mixed:
+		return "mixed"
+	}
+	return fmt.Sprintf("intensity(%d)", uint8(i))
+}
+
+// Params configures panel synthesis for one campaign year.
+type Params struct {
+	Year       int
+	NumAndroid int
+	NumIOS     int
+
+	// CellularIntensiveFrac/WiFiIntensiveFrac set the intensity split;
+	// the remainder is mixed (§3.3.1: 35%/8% in 2013 → 22%/8% in 2015).
+	CellularIntensiveFrac float64
+	WiFiIntensiveFrac     float64
+
+	// HomeAPFrac is the fraction of users with an inferred home AP
+	// (66%/73%/79%, §3.4.1).
+	HomeAPFrac float64
+
+	// OfficeBYODFrac is the fraction of offices whose WiFi admits personal
+	// smartphones; BYOD "is still not common in Japan" (§4.2).
+	OfficeBYODFrac float64
+	// OfficesPerUser sizes the office pool relative to panel size; the
+	// inferred office AP count stays near 166 across years (Table 4).
+	OfficesPerUser float64
+
+	// AndroidDayOffFrac is the share of Android users who explicitly turn
+	// WiFi off when away from home (~50% in 2013 → ~40% in 2015, §3.3.4).
+	AndroidDayOffFrac float64
+	// IOSDayOffFrac is the equivalent for iOS, lower because "WiFi
+	// connectivity of iOS is higher than that of Android".
+	IOSDayOffFrac float64
+
+	// PublicAssocProb is the per-interval probability an active-WiFi user
+	// near a public AP associates with it; IOSPublicBonus multiplies it
+	// for iOS devices (iOS auto-joins carrier APs via EAP-SIM profiles).
+	PublicAssocProb float64
+	IOSPublicBonus  float64
+
+	// MobileAPFrac is the share of users carrying a personal mobile WiFi
+	// router.
+	MobileAPFrac float64
+
+	// LTECapableFrac is the share of devices on LTE-capable plans; it
+	// tracks cellular.RATProfileForYear so Table 1's LTE traffic shares
+	// emerge.
+	LTECapableFrac float64
+	// FiveGHzFrac is the share of handsets with 5 GHz radios, growing
+	// with the device replacement cycle (§3.4.3).
+	FiveGHzFrac float64
+
+	// VolumeSigma is the log-space standard deviation of the per-user
+	// volume scale; it controls how far heavy hitters outrun the median.
+	VolumeSigma float64
+
+	// TetherFrac is the share of users who occasionally tether (their
+	// tethered intervals are flagged and later cleaned, §2).
+	TetherFrac float64
+
+	// Panel churn: the analyzed population "includes non-recruited users
+	// who installed the measurement software from respective app stores"
+	// (§2), so devices join late, drop out, and go dark for stretches.
+	// LateJoinFrac of devices first report partway into the campaign;
+	// DropoutFrac stop reporting before the end; OutageProbPerDay is the
+	// chance of a multi-hour reporting gap (phone off, app killed).
+	LateJoinFrac     float64
+	DropoutFrac      float64
+	OutageProbPerDay float64
+}
+
+// ParamsForYear returns the calibrated panel profile for a campaign year at
+// the given population scale (1.0 reproduces Table 1's panel sizes).
+func ParamsForYear(year int, scale float64) (Params, error) {
+	var p Params
+	switch year {
+	case 2013:
+		p = Params{
+			Year: 2013, NumAndroid: 948, NumIOS: 807,
+			CellularIntensiveFrac: 0.24, WiFiIntensiveFrac: 0.08,
+			HomeAPFrac: 0.66, OfficeBYODFrac: 0.28, OfficesPerUser: 0.34,
+			AndroidDayOffFrac: 0.50, IOSDayOffFrac: 0.22,
+			PublicAssocProb: 0.12, IOSPublicBonus: 1.8,
+			LTECapableFrac: 0.38, FiveGHzFrac: 0.25,
+			LateJoinFrac: 0.05, DropoutFrac: 0.04, OutageProbPerDay: 0.02,
+			MobileAPFrac: 0.05, VolumeSigma: 0.95, TetherFrac: 0.03,
+		}
+	case 2014:
+		p = Params{
+			Year: 2014, NumAndroid: 887, NumIOS: 789,
+			CellularIntensiveFrac: 0.22, WiFiIntensiveFrac: 0.08,
+			HomeAPFrac: 0.73, OfficeBYODFrac: 0.29, OfficesPerUser: 0.35,
+			AndroidDayOffFrac: 0.45, IOSDayOffFrac: 0.20,
+			PublicAssocProb: 0.17, IOSPublicBonus: 1.8,
+			LTECapableFrac: 0.78, FiveGHzFrac: 0.45,
+			LateJoinFrac: 0.05, DropoutFrac: 0.04, OutageProbPerDay: 0.02,
+			MobileAPFrac: 0.05, VolumeSigma: 0.95, TetherFrac: 0.03,
+		}
+	case 2015:
+		p = Params{
+			Year: 2015, NumAndroid: 835, NumIOS: 781,
+			CellularIntensiveFrac: 0.17, WiFiIntensiveFrac: 0.08,
+			HomeAPFrac: 0.79, OfficeBYODFrac: 0.30, OfficesPerUser: 0.36,
+			AndroidDayOffFrac: 0.40, IOSDayOffFrac: 0.18,
+			PublicAssocProb: 0.22, IOSPublicBonus: 1.8,
+			LTECapableFrac: 0.88, FiveGHzFrac: 0.65,
+			LateJoinFrac: 0.05, DropoutFrac: 0.04, OutageProbPerDay: 0.02,
+			MobileAPFrac: 0.05, VolumeSigma: 0.85, TetherFrac: 0.03,
+		}
+	default:
+		return Params{}, fmt.Errorf("population: no panel profile for year %d", year)
+	}
+	p.NumAndroid = int(float64(p.NumAndroid) * scale)
+	p.NumIOS = int(float64(p.NumIOS) * scale)
+	if p.NumAndroid < 1 || p.NumIOS < 1 {
+		return Params{}, fmt.Errorf("population: scale %g leaves an empty panel", scale)
+	}
+	return p, nil
+}
+
+// Office is a workplace with (possibly BYOD-accessible) WiFi.
+type Office struct {
+	Pos  geo.Point
+	AP   wifi.AP
+	BYOD bool
+}
+
+// User is one synthesized panel member.
+type User struct {
+	ID         trace.DeviceID
+	OS         trace.OS
+	Occupation Occupation
+	Intensity  Intensity
+	Carrier    cellular.Carrier
+	LTECapable bool
+	// Supports5GHz gates association with (and scanning of) 5 GHz public
+	// APs; home and office APs are treated as dual-band.
+	Supports5GHz bool
+
+	HomePos   geo.Point
+	HasHomeAP bool
+	HomeAP    wifi.AP // valid only when HasHomeAP
+
+	Office *Office // nil for non-commuters
+
+	HasMobileAP bool
+	MobileAP    wifi.AP // valid only when HasMobileAP
+
+	// DayOff means the user explicitly turns WiFi off away from home
+	// (§3.3.4's WiFi-off population).
+	DayOff bool
+	// PublicAssocProb is this user's per-interval chance of joining an
+	// available public AP.
+	PublicAssocProb float64
+
+	// VolumeScale multiplies the campaign's base daily demand; its
+	// distribution is log-normal, producing the heavy tail of Fig. 3.
+	VolumeScale float64
+	// Heavyness is the user's quantile within the volume distribution
+	// (0 light .. 1 heavy), used to skew app affinities.
+	Heavyness float64
+	Affinity  apps.Affinity
+
+	TetherProne bool
+}
+
+// Panel is a synthesized user population plus the shared office pool.
+type Panel struct {
+	Params  Params
+	Users   []User
+	Offices []Office
+}
+
+// NewPanel synthesizes the panel for params. Home positions follow anchor
+// weights with suburban spread; offices skew downtown. The deployment d
+// provisions every home/office/mobile AP so BSSIDs are globally unique.
+func NewPanel(params Params, d *wifi.Deployment, rng *rand.Rand) (*Panel, error) {
+	shares, ok := OccupationShares[params.Year]
+	if !ok {
+		return nil, fmt.Errorf("population: no occupation shares for year %d", params.Year)
+	}
+	p := &Panel{Params: params}
+
+	// Office pool: positions cluster tightly around anchors (business
+	// districts), dominated by downtown.
+	nOffices := int(params.OfficesPerUser * float64(params.NumAndroid+params.NumIOS))
+	if nOffices < 1 {
+		nOffices = 1
+	}
+	for i := 0; i < nOffices; i++ {
+		a := sampleAnchor(rng, 3.0)
+		pos := geo.Point{
+			X: a.Pos.X + rng.NormFloat64()*3,
+			Y: a.Pos.Y + rng.NormFloat64()*3,
+		}
+		p.Offices = append(p.Offices, Office{
+			Pos:  pos,
+			AP:   d.NewOfficeAP(pos),
+			BYOD: rng.Float64() < params.OfficeBYODFrac,
+		})
+	}
+
+	total := params.NumAndroid + params.NumIOS
+	p.Users = make([]User, 0, total)
+	for i := 0; i < total; i++ {
+		var u User
+		u.ID = trace.DeviceID(rng.Uint64())
+		if i < params.NumAndroid {
+			u.OS = trace.Android
+		} else {
+			u.OS = trace.IOS
+		}
+		u.Occupation = sampleOccupation(shares, rng)
+		u.Carrier = cellular.SampleCarrier(rng)
+		u.LTECapable = rng.Float64() < params.LTECapableFrac
+		u.Supports5GHz = rng.Float64() < params.FiveGHzFrac
+
+		// Intensity split.
+		r := rng.Float64()
+		switch {
+		case r < params.CellularIntensiveFrac:
+			u.Intensity = CellularIntensive
+		case r < params.CellularIntensiveFrac+params.WiFiIntensiveFrac:
+			u.Intensity = WiFiIntensive
+		default:
+			u.Intensity = Mixed
+		}
+
+		// Home: suburban spread around anchors.
+		a := sampleAnchor(rng, 1.0)
+		u.HomePos = geo.Point{
+			X: a.Pos.X + rng.NormFloat64()*8,
+			Y: a.Pos.Y + rng.NormFloat64()*8,
+		}
+
+		// Home AP ownership, conditioned on intensity so that the
+		// marginal matches HomeAPFrac: cellular-intensive users mostly
+		// lack (or never use) home APs.
+		u.HasHomeAP = rng.Float64() < homeAPProb(params, u.Intensity)
+		if u.HasHomeAP {
+			u.HomeAP = d.NewHomeAP(u.HomePos)
+		}
+
+		if u.Occupation.Commutes() {
+			u.Office = &p.Offices[rng.Intn(len(p.Offices))]
+		}
+
+		if rng.Float64() < params.MobileAPFrac && u.Intensity != CellularIntensive {
+			u.HasMobileAP = true
+			u.MobileAP = d.NewMobileAP()
+		}
+
+		dayOffFrac := params.AndroidDayOffFrac
+		if u.OS == trace.IOS {
+			dayOffFrac = params.IOSDayOffFrac
+		}
+		u.DayOff = rng.Float64() < dayOffFrac
+		if u.Intensity == CellularIntensive {
+			u.DayOff = true // WiFi never used by definition
+		}
+
+		u.PublicAssocProb = params.PublicAssocProb * (0.5 + rng.Float64())
+		if u.OS == trace.IOS {
+			u.PublicAssocProb *= params.IOSPublicBonus
+		}
+		if u.Intensity == CellularIntensive {
+			u.PublicAssocProb = 0
+		}
+		if u.PublicAssocProb > 0.9 {
+			u.PublicAssocProb = 0.9
+		}
+
+		z := rng.NormFloat64()
+		u.VolumeScale = math.Exp(params.VolumeSigma * z)
+		u.Heavyness = normCDF(z)
+		u.Affinity = apps.NewAffinity(u.Heavyness, rng)
+
+		u.TetherProne = rng.Float64() < params.TetherFrac
+
+		p.Users = append(p.Users, u)
+	}
+	return p, nil
+}
+
+// homeAPProb conditions AP ownership on intensity while keeping the
+// marginal near HomeAPFrac: WiFi-intensive users essentially always have
+// one, cellular-intensive users rarely do, and mixed users absorb the rest.
+func homeAPProb(params Params, in Intensity) float64 {
+	// Many cellular-intensive users *own* a home AP they never configured
+	// the phone for, so AP ownership is only moderately depressed for
+	// them; this keeps the no-home-AP population from collapsing onto the
+	// cellular-intensive class (the §3.7 update study needs no-home users
+	// who can reach public WiFi).
+	const (
+		pWiFi = 0.97
+		pCell = 0.40
+	)
+	mixedFrac := 1 - params.CellularIntensiveFrac - params.WiFiIntensiveFrac
+	if mixedFrac <= 0 {
+		return params.HomeAPFrac
+	}
+	pMixed := (params.HomeAPFrac - pWiFi*params.WiFiIntensiveFrac - pCell*params.CellularIntensiveFrac) / mixedFrac
+	if pMixed < 0 {
+		pMixed = 0
+	}
+	if pMixed > 1 {
+		pMixed = 1
+	}
+	switch in {
+	case WiFiIntensive:
+		return pWiFi
+	case CellularIntensive:
+		return pCell
+	default:
+		return pMixed
+	}
+}
+
+func sampleOccupation(shares [NumOccupations]float64, rng *rand.Rand) Occupation {
+	var total float64
+	for _, s := range shares {
+		total += s
+	}
+	r := rng.Float64() * total
+	for i, s := range shares {
+		if r -= s; r < 0 {
+			return Occupation(i)
+		}
+	}
+	return OccOther
+}
+
+// sampleAnchor draws an anchor with the first (Tokyo) anchor's weight
+// multiplied by boost.
+func sampleAnchor(rng *rand.Rand, boost float64) geo.Anchor {
+	total := 0.0
+	for i, a := range geo.Anchors {
+		w := a.Weight
+		if i == 0 {
+			w *= boost
+		}
+		total += w
+	}
+	r := rng.Float64() * total
+	for i, a := range geo.Anchors {
+		w := a.Weight
+		if i == 0 {
+			w *= boost
+		}
+		if r -= w; r < 0 {
+			return a
+		}
+	}
+	return geo.Anchors[0]
+}
+
+// normCDF is the standard normal CDF.
+func normCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

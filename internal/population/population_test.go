@@ -1,0 +1,240 @@
+package population
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"smartusage/internal/trace"
+	"smartusage/internal/wifi"
+)
+
+func makePanel(t *testing.T, year int, scale float64, seed int64) *Panel {
+	t.Helper()
+	params, err := ParamsForYear(year, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := wifi.DeployParamsForYear(year, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := wifi.NewDeployment(dep, rng)
+	p, err := NewPanel(params, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParamsForYear(t *testing.T) {
+	p13, err := ParamsForYear(2013, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p13.NumAndroid != 948 || p13.NumIOS != 807 {
+		t.Fatalf("2013 panel sizes %d/%d, want Table 1's 948/807", p13.NumAndroid, p13.NumIOS)
+	}
+	p15, err := ParamsForYear(2015, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p15.NumAndroid != 835 || p15.NumIOS != 781 {
+		t.Fatalf("2015 panel sizes %d/%d", p15.NumAndroid, p15.NumIOS)
+	}
+	if p13.HomeAPFrac >= p15.HomeAPFrac {
+		t.Fatal("home AP ownership should grow")
+	}
+	if p13.CellularIntensiveFrac <= p15.CellularIntensiveFrac {
+		t.Fatal("cellular-intensive share should shrink")
+	}
+	if _, err := ParamsForYear(2016, 1); err == nil {
+		t.Fatal("unknown year accepted")
+	}
+	if _, err := ParamsForYear(2015, 0.0001); err == nil {
+		t.Fatal("empty panel accepted")
+	}
+}
+
+func TestOccupationSharesSum(t *testing.T) {
+	for year, shares := range OccupationShares {
+		var sum float64
+		for _, s := range shares {
+			sum += s
+		}
+		// The paper's own 2015 column sums to 97.9 (rounding and partial
+		// answers), so allow a loose band around 100.
+		if math.Abs(sum-100) > 2.5 {
+			t.Errorf("%d occupation shares sum to %.1f", year, sum)
+		}
+	}
+}
+
+func TestPanelComposition(t *testing.T) {
+	p := makePanel(t, 2015, 1.0, 1)
+	params := p.Params
+	if len(p.Users) != params.NumAndroid+params.NumIOS {
+		t.Fatalf("panel size %d", len(p.Users))
+	}
+
+	var android, homeAP, cellInt, wifiInt, dayOff, lte int
+	ids := map[trace.DeviceID]bool{}
+	for i := range p.Users {
+		u := &p.Users[i]
+		if ids[u.ID] {
+			t.Fatal("duplicate device ID")
+		}
+		ids[u.ID] = true
+		if u.OS == trace.Android {
+			android++
+		}
+		if u.HasHomeAP {
+			homeAP++
+			if u.HomeAP.BSSID == 0 {
+				t.Fatal("home AP owner without provisioned AP")
+			}
+		}
+		switch u.Intensity {
+		case CellularIntensive:
+			cellInt++
+			if u.PublicAssocProb != 0 {
+				t.Fatal("cellular-intensive user with public assoc prob")
+			}
+			if !u.DayOff {
+				t.Fatal("cellular-intensive user with WiFi on")
+			}
+		case WiFiIntensive:
+			wifiInt++
+		}
+		if u.DayOff {
+			dayOff++
+		}
+		if u.LTECapable {
+			lte++
+		}
+		if u.Occupation.Commutes() && u.Office == nil {
+			t.Fatal("commuter without office")
+		}
+		if u.VolumeScale <= 0 {
+			t.Fatal("non-positive volume scale")
+		}
+		if u.Heavyness < 0 || u.Heavyness > 1 {
+			t.Fatalf("heavyness %g", u.Heavyness)
+		}
+	}
+	n := float64(len(p.Users))
+	if got := float64(android) / n; math.Abs(got-float64(params.NumAndroid)/n) > 1e-9 {
+		t.Fatalf("android share %g", got)
+	}
+	if got := float64(homeAP) / n; math.Abs(got-params.HomeAPFrac) > 0.04 {
+		t.Fatalf("home AP share %.3f want %.2f", got, params.HomeAPFrac)
+	}
+	if got := float64(cellInt) / n; math.Abs(got-params.CellularIntensiveFrac) > 0.04 {
+		t.Fatalf("cellular-intensive %.3f want %.2f", got, params.CellularIntensiveFrac)
+	}
+	if got := float64(wifiInt) / n; math.Abs(got-params.WiFiIntensiveFrac) > 0.03 {
+		t.Fatalf("wifi-intensive %.3f want %.2f", got, params.WiFiIntensiveFrac)
+	}
+	if got := float64(lte) / n; math.Abs(got-params.LTECapableFrac) > 0.04 {
+		t.Fatalf("LTE capable %.3f want %.2f", got, params.LTECapableFrac)
+	}
+}
+
+func TestPanelOccupationDistribution(t *testing.T) {
+	p := makePanel(t, 2014, 2.0, 7) // big panel for tight tolerance
+	counts := [NumOccupations]int{}
+	for i := range p.Users {
+		counts[p.Users[i].Occupation]++
+	}
+	n := float64(len(p.Users))
+	for occ := Occupation(0); occ < NumOccupations; occ++ {
+		want := OccupationShares[2014][occ] / 100
+		got := float64(counts[occ]) / n
+		if math.Abs(got-want) > 0.025 {
+			t.Errorf("%v share %.3f want %.3f", occ, got, want)
+		}
+	}
+}
+
+func TestVolumeScaleHeavyTail(t *testing.T) {
+	p := makePanel(t, 2015, 1.0, 3)
+	var scales []float64
+	for i := range p.Users {
+		scales = append(scales, p.Users[i].VolumeScale)
+	}
+	var gt1 int
+	for _, s := range scales {
+		if s > 1 {
+			gt1++
+		}
+	}
+	// Log-normal: median 1 → about half above 1.
+	if frac := float64(gt1) / float64(len(scales)); frac < 0.42 || frac > 0.58 {
+		t.Fatalf("volume scale median off: %.2f above 1", frac)
+	}
+	// Heavyness must track the volume scale rank.
+	for i := range p.Users {
+		u := &p.Users[i]
+		if (u.VolumeScale > 1) != (u.Heavyness > 0.5) {
+			t.Fatalf("heavyness %g inconsistent with scale %g", u.Heavyness, u.VolumeScale)
+		}
+	}
+}
+
+func TestOfficePool(t *testing.T) {
+	p := makePanel(t, 2015, 1.0, 5)
+	if len(p.Offices) == 0 {
+		t.Fatal("no offices")
+	}
+	var byod int
+	for i := range p.Offices {
+		if p.Offices[i].AP.Class != wifi.ClassOffice {
+			t.Fatal("office AP with wrong class")
+		}
+		if p.Offices[i].BYOD {
+			byod++
+		}
+	}
+	frac := float64(byod) / float64(len(p.Offices))
+	if math.Abs(frac-p.Params.OfficeBYODFrac) > 0.08 {
+		t.Fatalf("BYOD office share %.2f want %.2f", frac, p.Params.OfficeBYODFrac)
+	}
+}
+
+func TestIOSHigherPublicAssoc(t *testing.T) {
+	p := makePanel(t, 2015, 1.0, 11)
+	var sumA, sumI float64
+	var nA, nI int
+	for i := range p.Users {
+		u := &p.Users[i]
+		if u.Intensity == CellularIntensive {
+			continue
+		}
+		if u.OS == trace.Android {
+			sumA += u.PublicAssocProb
+			nA++
+		} else {
+			sumI += u.PublicAssocProb
+			nI++
+		}
+	}
+	if sumI/float64(nI) <= sumA/float64(nA) {
+		t.Fatal("iOS should carry higher public association probability (§3.3.4)")
+	}
+}
+
+func TestOccupationStrings(t *testing.T) {
+	if OccOffice.String() != "office worker" || OccHousewife.String() != "housewife" {
+		t.Fatal("occupation names wrong")
+	}
+	if !OccEngineer.Commutes() || OccHousewife.Commutes() {
+		t.Fatal("commute classification wrong")
+	}
+}
+
+func TestIntensityString(t *testing.T) {
+	if CellularIntensive.String() != "cellular-intensive" || Mixed.String() != "mixed" {
+		t.Fatal("intensity names wrong")
+	}
+}

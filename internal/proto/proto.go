@@ -1,0 +1,328 @@
+// Package proto defines the wire protocol between the on-device measurement
+// agent and the collection server (§2 of the paper: "The software collects
+// statistics every 10 minutes and uploads this data to a central server. If
+// the upload fails the software caches the data and sends it later.").
+//
+// The protocol is a simple framed binary exchange over one TCP connection:
+//
+//	client → server  Hello   {deviceID, os, version, token}
+//	server → client  HelloAck{sessionID}
+//	client → server  Batch   {batchID, samples...}     (repeated)
+//	server → client  BatchAck{batchID, accepted}       (one per batch)
+//	client → server  Bye                                (optional, clean close)
+//
+// Every frame is a one-byte type, a uvarint payload length, and the payload.
+// Batches are idempotent: the server deduplicates on (deviceID, batchID), so
+// an agent that times out waiting for an ack can safely resend.
+package proto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"smartusage/internal/trace"
+)
+
+// FrameType identifies a protocol frame.
+type FrameType uint8
+
+// Frame types.
+const (
+	FrameHello FrameType = iota + 1
+	FrameHelloAck
+	FrameBatch
+	FrameBatchAck
+	FrameBye
+	FrameError
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameHelloAck:
+		return "hello-ack"
+	case FrameBatch:
+		return "batch"
+	case FrameBatchAck:
+		return "batch-ack"
+	case FrameBye:
+		return "bye"
+	case FrameError:
+		return "error"
+	}
+	return fmt.Sprintf("frame(%d)", uint8(t))
+}
+
+// MaxFrameSize bounds one frame payload; a batch of a full day of samples
+// fits comfortably.
+const MaxFrameSize = 4 << 20
+
+// Version is the protocol version carried in Hello.
+const Version = 1
+
+// ErrFrameTooLarge is returned when a peer announces an oversized frame.
+var ErrFrameTooLarge = errors.New("proto: frame exceeds size limit")
+
+// Hello is the client's opening frame.
+type Hello struct {
+	Version uint32
+	Device  trace.DeviceID
+	OS      trace.OS
+	Token   string
+}
+
+// HelloAck is the server's response to Hello.
+type HelloAck struct {
+	SessionID uint64
+}
+
+// Batch carries samples. BatchID must increase per device; the server
+// acknowledges and deduplicates by it.
+type Batch struct {
+	BatchID uint64
+	Samples []trace.Sample
+}
+
+// BatchAck acknowledges a batch.
+type BatchAck struct {
+	BatchID  uint64
+	Accepted uint32 // samples newly accepted (0 for a duplicate batch)
+}
+
+// ErrorFrame reports a fatal protocol error before the server closes.
+type ErrorFrame struct {
+	Message string
+}
+
+// Conn wraps a stream with framed encode/decode. It is not safe for
+// concurrent use; the agent and collector each drive one side of the
+// conversation sequentially.
+type Conn struct {
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	scratch []byte
+}
+
+// NewConn wraps rw (typically a *net.TCPConn).
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{
+		br: bufio.NewReaderSize(rw, 64<<10),
+		bw: bufio.NewWriterSize(rw, 64<<10),
+	}
+}
+
+// WriteFrame sends one frame and flushes it.
+func (c *Conn) WriteFrame(t FrameType, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	if err := c.bw.WriteByte(byte(t)); err != nil {
+		return fmt.Errorf("proto: write type: %w", err)
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	if _, err := c.bw.Write(lenBuf[:n]); err != nil {
+		return fmt.Errorf("proto: write length: %w", err)
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return fmt.Errorf("proto: write payload: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("proto: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads the next frame. The returned payload aliases an internal
+// buffer valid until the next ReadFrame.
+func (c *Conn) ReadFrame() (FrameType, []byte, error) {
+	tb, err := c.br.ReadByte()
+	if err != nil {
+		return 0, nil, err // io.EOF passes through for clean closes
+	}
+	size, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return 0, nil, fmt.Errorf("proto: read length: %w", err)
+	}
+	if size > MaxFrameSize {
+		return 0, nil, ErrFrameTooLarge
+	}
+	if cap(c.scratch) < int(size) {
+		c.scratch = make([]byte, size)
+	}
+	c.scratch = c.scratch[:size]
+	if _, err := io.ReadFull(c.br, c.scratch); err != nil {
+		return 0, nil, fmt.Errorf("proto: read payload: %w", err)
+	}
+	return FrameType(tb), c.scratch, nil
+}
+
+// --- payload codecs ---------------------------------------------------------
+
+// AppendHello encodes h.
+func AppendHello(dst []byte, h *Hello) []byte {
+	dst = binary.AppendUvarint(dst, uint64(h.Version))
+	dst = binary.AppendUvarint(dst, uint64(h.Device))
+	dst = append(dst, byte(h.OS))
+	dst = binary.AppendUvarint(dst, uint64(len(h.Token)))
+	dst = append(dst, h.Token...)
+	return dst
+}
+
+// DecodeHello decodes h from buf.
+func DecodeHello(buf []byte, h *Hello) error {
+	d := newFieldReader(buf)
+	h.Version = uint32(d.uvarint())
+	h.Device = trace.DeviceID(d.uvarint())
+	h.OS = trace.OS(d.byte())
+	h.Token = d.string()
+	return d.finish("hello")
+}
+
+// AppendHelloAck encodes a.
+func AppendHelloAck(dst []byte, a *HelloAck) []byte {
+	return binary.AppendUvarint(dst, a.SessionID)
+}
+
+// DecodeHelloAck decodes a from buf.
+func DecodeHelloAck(buf []byte, a *HelloAck) error {
+	d := newFieldReader(buf)
+	a.SessionID = d.uvarint()
+	return d.finish("hello-ack")
+}
+
+// AppendBatch encodes b.
+func AppendBatch(dst []byte, b *Batch) []byte {
+	dst = binary.AppendUvarint(dst, b.BatchID)
+	dst = binary.AppendUvarint(dst, uint64(len(b.Samples)))
+	var sample []byte
+	for i := range b.Samples {
+		sample = trace.AppendSample(sample[:0], &b.Samples[i])
+		dst = binary.AppendUvarint(dst, uint64(len(sample)))
+		dst = append(dst, sample...)
+	}
+	return dst
+}
+
+// DecodeBatch decodes b from buf, reusing b.Samples.
+func DecodeBatch(buf []byte, b *Batch) error {
+	d := newFieldReader(buf)
+	b.BatchID = d.uvarint()
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(buf)) {
+		return fmt.Errorf("proto: batch: corrupt sample count %d", n)
+	}
+	if cap(b.Samples) < int(n) {
+		b.Samples = make([]trace.Sample, n)
+	}
+	b.Samples = b.Samples[:n]
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		raw := d.bytes()
+		if d.err != nil {
+			break
+		}
+		used, err := trace.DecodeSample(raw, &b.Samples[i])
+		if err != nil {
+			return fmt.Errorf("proto: batch sample %d: %w", i, err)
+		}
+		if used != len(raw) {
+			return fmt.Errorf("proto: batch sample %d: trailing %d bytes", i, len(raw)-used)
+		}
+	}
+	return d.finish("batch")
+}
+
+// AppendBatchAck encodes a.
+func AppendBatchAck(dst []byte, a *BatchAck) []byte {
+	dst = binary.AppendUvarint(dst, a.BatchID)
+	dst = binary.AppendUvarint(dst, uint64(a.Accepted))
+	return dst
+}
+
+// DecodeBatchAck decodes a from buf.
+func DecodeBatchAck(buf []byte, a *BatchAck) error {
+	d := newFieldReader(buf)
+	a.BatchID = d.uvarint()
+	a.Accepted = uint32(d.uvarint())
+	return d.finish("batch-ack")
+}
+
+// AppendErrorFrame encodes e.
+func AppendErrorFrame(dst []byte, e *ErrorFrame) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(e.Message)))
+	dst = append(dst, e.Message...)
+	return dst
+}
+
+// DecodeErrorFrame decodes e from buf.
+func DecodeErrorFrame(buf []byte, e *ErrorFrame) error {
+	d := newFieldReader(buf)
+	e.Message = d.string()
+	return d.finish("error")
+}
+
+// fieldReader mirrors trace's internal decoder for proto payloads.
+type fieldReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func newFieldReader(buf []byte) *fieldReader { return &fieldReader{buf: buf} }
+
+func (d *fieldReader) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *fieldReader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *fieldReader) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	out := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return out
+}
+
+func (d *fieldReader) string() string { return string(d.bytes()) }
+
+func (d *fieldReader) finish(what string) error {
+	if d.err != nil {
+		return fmt.Errorf("proto: decode %s: %w", what, d.err)
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("proto: decode %s: %d trailing bytes", what, len(d.buf)-d.off)
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package render_test
+
+import (
+	"os"
+
+	"smartusage/internal/render"
+)
+
+func ExampleTable() {
+	render.Table(os.Stdout,
+		[]string{"year", "WiFi share"},
+		[][]string{{"2013", "59%"}, {"2015", "67%"}},
+	)
+	// Output:
+	// year  WiFi share
+	// ----  ----------
+	// 2013  59%
+	// 2015  67%
+}
+
+func ExampleSparkline() {
+	s := render.Sparkline([]float64{0, 1, 2, 4, 8, 4, 2, 1, 0})
+	os.Stdout.WriteString(s + "\n")
+	// Output:
+	// ▁▁▂▄█▄▂▁▁
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"smartusage/internal/config"
+	"smartusage/internal/geo"
+	"smartusage/internal/mobility"
+	"smartusage/internal/population"
+	"smartusage/internal/trace"
+	"smartusage/internal/wifi"
+)
+
+// testWorld builds a small 2015 world and returns the simulator plus a
+// mixed-intensity user with a home AP.
+func testWorld(t *testing.T) (*Simulator, *population.User) {
+	t.Helper()
+	cfg, err := config.ForYear(2015, 0.05, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Update = nil
+	cfg.Days = 2
+	sm, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sm.Panel.Users {
+		u := &sm.Panel.Users[i]
+		if u.Intensity == population.Mixed && u.HasHomeAP {
+			return sm, u
+		}
+	}
+	t.Fatal("no mixed home-AP user in panel")
+	return nil, nil
+}
+
+func newState(u *population.User) *userState {
+	return &userState{
+		rng:              rand.New(rand.NewSource(5)),
+		homeDistM:        10,
+		officeDistM:      20,
+		homeAssocToday:   true,
+		officeAssocToday: true,
+	}
+}
+
+func TestKeepForCoversAllClasses(t *testing.T) {
+	for _, c := range []wifi.Class{wifi.ClassHome, wifi.ClassPublic, wifi.ClassOffice, wifi.ClassMobile, wifi.ClassOpen} {
+		k := keepFor(c)
+		if k <= 0.5 || k >= 1 {
+			t.Fatalf("keep probability for %v = %g", c, k)
+		}
+	}
+	if keepFor(wifi.ClassHome) <= keepFor(wifi.ClassPublic) {
+		t.Fatal("home sessions must outlast public sessions (Fig. 13)")
+	}
+}
+
+func TestUpdateLinkAssociatesAtHome(t *testing.T) {
+	sm, u := testWorld(t)
+	st := newState(u)
+	sm.updateLink(u, st, mobility.PlaceHome, u.HomePos, true, 20)
+	// Movement tears down; the next interval (same place) associates.
+	sm.updateLink(u, st, mobility.PlaceHome, u.HomePos, false, 20)
+	if st.link == nil || st.link.class != wifi.ClassHome {
+		t.Fatalf("no home association: %+v", st.link)
+	}
+	if st.link.ap.BSSID != u.HomeAP.BSSID {
+		t.Fatal("associated with the wrong AP")
+	}
+	if st.link.rssiDBm >= -20 || st.link.rssiDBm <= -95 {
+		t.Fatalf("implausible session RSSI %g", st.link.rssiDBm)
+	}
+}
+
+func TestUpdateLinkHonoursDayIntent(t *testing.T) {
+	sm, u := testWorld(t)
+	st := newState(u)
+	st.homeAssocToday = false
+	for i := 0; i < 20; i++ {
+		sm.updateLink(u, st, mobility.PlaceHome, u.HomePos, false, 20)
+		if st.link != nil {
+			t.Fatal("associated despite homeAssocToday=false")
+		}
+	}
+}
+
+func TestUpdateLinkMovementTearsDown(t *testing.T) {
+	sm, u := testWorld(t)
+	st := newState(u)
+	sm.updateLink(u, st, mobility.PlaceHome, u.HomePos, false, 20)
+	if st.link == nil {
+		t.Fatal("setup: no association")
+	}
+	away := geo.Point{X: u.HomePos.X + 5, Y: u.HomePos.Y}
+	sm.updateLink(u, st, mobility.PlaceTransit, away, true, 8)
+	if st.link != nil && st.link.class == wifi.ClassHome {
+		t.Fatal("home association survived a move")
+	}
+}
+
+func TestDayOffNeverAssociatesInPublic(t *testing.T) {
+	sm, u := testWorld(t)
+	saved := u.DayOff
+	u.DayOff = true
+	defer func() { u.DayOff = saved }()
+	st := newState(u)
+	venue := geo.Point{} // downtown: public APs guaranteed
+	for i := 0; i < 50; i++ {
+		sm.updateLink(u, st, mobility.PlacePublic, venue, false, 12)
+		if st.link != nil {
+			t.Fatal("DayOff user associated at a public venue")
+		}
+	}
+}
+
+func TestTryPublicAssocPrefersStrong(t *testing.T) {
+	sm, u := testWorld(t)
+	st := newState(u)
+	u2 := *u
+	u2.PublicAssocProb = 1
+	u2.Supports5GHz = true
+	assocs := 0
+	for i := 0; i < 200; i++ {
+		st.link = nil
+		sm.tryPublicAssoc(&u2, st, geo.Point{})
+		if st.link != nil {
+			assocs++
+			if st.link.class != wifi.ClassPublic {
+				t.Fatalf("class %v", st.link.class)
+			}
+			if st.link.rssiDBm < -78 {
+				t.Fatalf("joined below the threshold: %g", st.link.rssiDBm)
+			}
+		}
+	}
+	if assocs == 0 {
+		t.Fatal("never associated downtown with prob 1")
+	}
+}
+
+func TestObserveAPsRespects5GHzCapability(t *testing.T) {
+	sm, u := testWorld(t)
+	u2 := *u
+	u2.OS = trace.Android
+	u2.Supports5GHz = false
+	st := newState(&u2)
+	var out trace.Sample
+	for i := 0; i < 100; i++ {
+		out.APs = out.APs[:0]
+		sm.observeAPs(&u2, st, mobility.PlacePublic, geo.Point{}, trace.WiFiOn, &out)
+		for _, ap := range out.APs {
+			if ap.Band == trace.Band5 {
+				t.Fatal("2.4-only device scanned a 5 GHz AP")
+			}
+		}
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if clamp01(-1) != 0.02 || clamp01(2) != 0.98 || clamp01(0.5) != 0.5 {
+		t.Fatal("clamp01 bounds wrong")
+	}
+}

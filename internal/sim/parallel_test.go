@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+
+	"smartusage/internal/trace"
+)
+
+// RunConcurrent must produce the byte-identical stream of Run, in order.
+func TestRunConcurrentMatchesSequential(t *testing.T) {
+	cfg := smallConfig(t, 2014)
+	sm, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq []trace.Sample
+	if err := sm.Run(func(s *trace.Sample) error {
+		seq = append(seq, *s.Clone())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh simulator: per-user state must not leak between runs.
+	sm2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	err = sm2.RunConcurrent(4, func(s *trace.Sample) error {
+		if i >= len(seq) {
+			t.Fatalf("concurrent run produced extra samples")
+		}
+		want := &seq[i]
+		if s.Device != want.Device || s.Time != want.Time ||
+			s.CellRX != want.CellRX || s.WiFiRX != want.WiFiRX ||
+			s.WiFiState != want.WiFiState || len(s.APs) != len(want.APs) {
+			t.Fatalf("sample %d differs between sequential and concurrent runs", i)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(seq) {
+		t.Fatalf("concurrent run produced %d of %d samples", i, len(seq))
+	}
+}
+
+func TestRunConcurrentSingleWorkerFallsBack(t *testing.T) {
+	cfg := smallConfig(t, 2013)
+	sm, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := sm.RunConcurrent(1, func(*trace.Sample) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no samples")
+	}
+}
+
+func TestRunConcurrentPropagatesSinkError(t *testing.T) {
+	cfg := smallConfig(t, 2013)
+	sm, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errSentinel{}
+	err = sm.RunConcurrent(4, func(*trace.Sample) error { return wantErr })
+	if err == nil {
+		t.Fatal("sink error swallowed")
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "sentinel" }

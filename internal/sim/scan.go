@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"math/rand"
+
+	"smartusage/internal/geo"
+	"smartusage/internal/mobility"
+	"smartusage/internal/population"
+	"smartusage/internal/trace"
+	"smartusage/internal/wifi"
+)
+
+// Scan densities: the expected number of public APs a handset hears is the
+// grid-cell AP count scaled by the radio footprint and a venue-clustering
+// factor (APs concentrate exactly where people go, so a device at a public
+// venue hears disproportionately many).
+const (
+	scanFootprint = 0.016 // (radio range area) / (5 km cell area), with venue clustering
+	maxScanAPs    = 64
+)
+
+func clusterFactor(p mobility.Place) float64 {
+	switch p {
+	case mobility.PlacePublic:
+		return 3.0
+	case mobility.PlaceTransit:
+		return 1.6
+	case mobility.PlaceOffice:
+		return 1.2
+	default:
+		return 0.8
+	}
+}
+
+// observeAPs fills out.APs with this interval's WiFi observations. iOS
+// devices report only the associated AP; Android devices additionally
+// report scan results whenever the interface is on (§2).
+func (s *Simulator) observeAPs(u *population.User, st *userState,
+	place mobility.Place, pos geo.Point, wifiState trace.WiFiState, out *trace.Sample) {
+
+	if wifiState == trace.WiFiOff {
+		return
+	}
+	rng := st.rng
+
+	if st.link != nil {
+		out.APs = append(out.APs, obsForLink(st.link, rng))
+	}
+	if u.OS == trace.IOS {
+		return
+	}
+
+	// Nearby fixed infrastructure the user owns or works at.
+	if place == mobility.PlaceHome && u.HasHomeAP && (st.link == nil || st.link.ap != &u.HomeAP) {
+		out.APs = append(out.APs, obsFor(&u.HomeAP, 3+rng.Float64()*15, false, rng))
+	}
+	if place == mobility.PlaceOffice && u.Office != nil && (st.link == nil || st.link.ap != &u.Office.AP) {
+		out.APs = append(out.APs, obsFor(&u.Office.AP, 8+rng.Float64()*40, false, rng))
+	}
+
+	// Ambient public APs.
+	cands := s.Deploy.PublicNear(pos, 0)
+	if len(cands) == 0 {
+		return
+	}
+	// The deployment is scaled down with the panel, but real per-device
+	// visibility is a property of the city, not the panel; dividing by
+	// the scale restores the physical AP density.
+	lambda := float64(len(cands)) / s.Cfg.Scale * scanFootprint * clusterFactor(place)
+	n := poisson(rng, lambda)
+	if n > maxScanAPs {
+		n = maxScanAPs
+	}
+	for i := 0; i < n; i++ {
+		ap := &s.Deploy.Public[cands[rng.Intn(len(cands))]]
+		if ap.Band == trace.Band5 && !u.Supports5GHz {
+			continue
+		}
+		if st.link != nil && ap == st.link.ap {
+			continue
+		}
+		// Non-associated neighbours sit anywhere in hearing range;
+		// distance-squared weighting favours the far shell.
+		r := rng.Float64()
+		dist := 20 + 230*r*r
+		out.APs = append(out.APs, obsFor(ap, dist, false, rng))
+	}
+}
+
+// obsFor renders one AP observation at the given distance.
+func obsFor(ap *wifi.AP, distM float64, associated bool, rng *rand.Rand) trace.APObs {
+	rssi := pathLossFor(ap).RSSI(ap.TxPowerDBm, distM, rng)
+	return trace.APObs{
+		BSSID:      ap.BSSID,
+		ESSID:      ap.ESSID,
+		RSSI:       int8(rssi),
+		Channel:    ap.Channel,
+		Band:       ap.Band,
+		Associated: associated,
+	}
+}
+
+// obsForLink renders the associated AP using the session's stable RSSI with
+// per-interval jitter of a couple of dB.
+func obsForLink(l *link, rng *rand.Rand) trace.APObs {
+	rssi := l.rssiDBm + rng.NormFloat64()*1.0
+	if rssi > -20 {
+		rssi = -20
+	}
+	if rssi < -95 {
+		rssi = -95
+	}
+	return trace.APObs{
+		BSSID:      l.ap.BSSID,
+		ESSID:      l.ap.ESSID,
+		RSSI:       int8(rssi),
+		Channel:    l.ap.Channel,
+		Band:       l.ap.Band,
+		Associated: true,
+	}
+}

@@ -1,0 +1,34 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"smartusage/internal/stats"
+)
+
+func ExampleCDF() {
+	d := stats.CDF([]float64{10, 20, 20, 40})
+	for _, p := range d.Points {
+		fmt.Printf("P[v <= %g] = %.2f\n", p.X, p.Y)
+	}
+	// Output:
+	// P[v <= 10] = 0.25
+	// P[v <= 20] = 0.75
+	// P[v <= 40] = 1.00
+}
+
+func ExampleAnnualGrowthRate() {
+	// The paper's Table 3 WiFi medians: 9.2 → 24.3 → 50.7 MB/day.
+	agr, _ := stats.AnnualGrowthRate([]float64{9.2, 24.3, 50.7})
+	fmt.Printf("WiFi median AGR: %.0f%%\n", agr*100)
+	// Output:
+	// WiFi median AGR: 135%
+}
+
+func ExampleQuantile() {
+	daily := []float64{12, 55, 9, 130, 48, 77}
+	fmt.Printf("median %.1f MB, p90 %.1f MB\n",
+		stats.Quantile(daily, 0.5), stats.Quantile(daily, 0.9))
+	// Output:
+	// median 51.5 MB, p90 103.5 MB
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(4)
+	if s.Len() != 4 {
+		t.Fatalf("len %d", s.Len())
+	}
+	s.Add(0, 2)
+	s.Add(0, 4)
+	s.Add(3, 9)
+	means := s.Means()
+	if means[0] != 3 || means[1] != 0 || means[3] != 9 {
+		t.Fatalf("means %v", means)
+	}
+	totals := s.Totals()
+	if totals[0] != 6 || totals[3] != 9 {
+		t.Fatalf("totals %v", totals)
+	}
+	// Totals returns a copy.
+	totals[0] = 99
+	if s.Sum[0] != 6 {
+		t.Fatal("Totals aliases internal state")
+	}
+}
+
+func TestNewSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	NewSeries(0)
+}
+
+func TestRatio(t *testing.T) {
+	got, err := Ratio([]float64{1, 2, 3}, []float64{2, 0, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0.5 || got[1] != 0 || got[2] != 0.5 {
+		t.Fatalf("ratio %v", got)
+	}
+	if _, err := Ratio([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := MeanOf(xs, nil); got != 2.5 {
+		t.Fatalf("MeanOf all = %g", got)
+	}
+	if got := MeanOf(xs, []bool{true, false, false, true}); got != 2.5 {
+		t.Fatalf("MeanOf masked = %g", got)
+	}
+	if got := MeanOf(xs, []bool{false, false, false, false}); got != 0 {
+		t.Fatalf("MeanOf empty mask = %g", got)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := NewGrid(3, 2)
+	g.Add(0, 0)
+	g.Add(0, 0)
+	g.Add(2, 1)
+	g.Add(-1, 0) // ignored
+	g.Add(3, 0)  // ignored
+	g.Add(0, 2)  // ignored
+	if g.At(0, 0) != 2 || g.At(2, 1) != 1 || g.At(1, 1) != 0 {
+		t.Fatalf("grid counts wrong")
+	}
+	if g.At(-1, 0) != 0 || g.At(0, 5) != 0 {
+		t.Fatal("out-of-range At should be 0")
+	}
+	if g.Max() != 2 {
+		t.Fatalf("max %d", g.Max())
+	}
+	if g.CellsAtLeast(1) != 2 || g.CellsAtLeast(2) != 1 || g.CellsAtLeast(3) != 0 {
+		t.Fatal("CellsAtLeast wrong")
+	}
+}
+
+func TestNewGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGrid(0, 5)
+}
+
+// Property: out-of-range adds never change totals; in-range adds always do.
+func TestGridAddProperty(t *testing.T) {
+	f := func(coords [][2]int8) bool {
+		g := NewGrid(8, 8)
+		want := 0
+		for _, c := range coords {
+			x, y := int(c[0]), int(c[1])
+			g.Add(x, y)
+			if x >= 0 && x < 8 && y >= 0 && y < 8 {
+				want++
+			}
+		}
+		total := 0
+		for _, c := range g.Counts {
+			total += c
+		}
+		return total == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

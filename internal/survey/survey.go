@@ -1,0 +1,240 @@
+// Package survey reproduces the paper's post-campaign questionnaire
+// (§2, §4.2): the occupation demographics of Table 2, the self-reported
+// WiFi association by location of Table 8, and the reasons for WiFi
+// unavailability of Table 9.
+//
+// Answers are synthesized per respondent from two ingredients: what the
+// respondent actually did during the campaign (ground truth from the
+// analysis prepass — e.g. whether the device ever associated with a home,
+// office, or public network) and a reporting model that captures the
+// systematic biases the paper highlights, chiefly that "users think they
+// have more connectivity than they really do in public WiFi networks".
+package survey
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smartusage/internal/analysis"
+	"smartusage/internal/population"
+)
+
+// Location is a survey location category.
+type Location uint8
+
+// Survey locations.
+const (
+	LocHome Location = iota
+	LocOffice
+	LocPublic
+	NumLocations
+)
+
+// String implements fmt.Stringer.
+func (l Location) String() string {
+	switch l {
+	case LocHome:
+		return "home"
+	case LocOffice:
+		return "office"
+	case LocPublic:
+		return "public"
+	}
+	return fmt.Sprintf("location(%d)", uint8(l))
+}
+
+// Reason is a Table 9 answer option.
+type Reason uint8
+
+// Table 9 reasons. ReasonSecurity and ReasonLTEEnough were added to the
+// questionnaire from 2014 ("NA" in the 2013 column of Table 9).
+const (
+	ReasonNoAPs Reason = iota
+	ReasonDifficultSetup
+	ReasonNoConfiguration
+	ReasonBatteryDrain
+	ReasonFailed
+	ReasonSecurity
+	ReasonLTEEnough
+	ReasonOther
+	NumReasons
+)
+
+var reasonNames = [NumReasons]string{
+	"No available APs", "Difficult to set up", "No configuration",
+	"Battery drain", "Failed", "Security issue", "LTE is enough", "Other",
+}
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	if r < NumReasons {
+		return reasonNames[r]
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// Result is one campaign's questionnaire outcome.
+type Result struct {
+	Year int
+	// OccupationPct is Table 2: percent of respondents per occupation.
+	OccupationPct [population.NumOccupations]float64
+	// AssocYes/AssocNo/AssocNA are Table 8: percent answering yes / no /
+	// no-answer to "did you connect to WiFi APs at <location>?".
+	AssocYes [NumLocations]float64
+	AssocNo  [NumLocations]float64
+	AssocNA  [NumLocations]float64
+	// ReasonPct is Table 9: percent of no-respondents citing each reason
+	// (multiple answers allowed). Entries are -1 for options not asked
+	// that year.
+	ReasonPct [NumLocations][NumReasons]float64
+}
+
+// reasonBase holds per-year per-location citation probabilities for
+// attitude-driven reasons, calibrated to Table 9.
+type reasonBase struct {
+	battery, failed, security, lteEnough, other float64
+}
+
+func reasonProfile(year int, loc Location) reasonBase {
+	// Batteries worry users less each year; security worries grow,
+	// especially for public networks; "LTE is enough" appears from 2014.
+	b := reasonBase{battery: 0.17, failed: 0.06, other: 0.07}
+	switch year {
+	case 2013:
+		b.security, b.lteEnough = -1, -1
+	case 2014:
+		b.battery = 0.13
+		b.security, b.lteEnough = 0.08, 0.20
+	default:
+		b.battery = 0.11
+		b.security, b.lteEnough = 0.15, 0.18
+	}
+	if loc == LocPublic && b.security >= 0 {
+		b.security *= 2.2 // public WiFi security is the headline concern
+	}
+	if loc == LocOffice && b.lteEnough >= 0 {
+		b.lteEnough *= 0.55
+	}
+	return b
+}
+
+// Conduct synthesizes the questionnaire for a campaign. The panel provides
+// demographics; prep provides the observed behaviour the answers are
+// conditioned on; rng drives response noise. Panel users absent from the
+// trace (never uploaded) are skipped, mirroring the paper's analyzed
+// population.
+func Conduct(year int, panel *population.Panel, prep *analysis.Prep, rng *rand.Rand) (*Result, error) {
+	if panel == nil || prep == nil {
+		return nil, fmt.Errorf("survey: nil panel or prep")
+	}
+	res := &Result{Year: year}
+	var respondents int
+	yes := [NumLocations]int{}
+	no := [NumLocations]int{}
+	na := [NumLocations]int{}
+	reasons := [NumLocations][NumReasons]int{}
+	noCount := [NumLocations]int{}
+
+	for i := range panel.Users {
+		u := &panel.Users[i]
+		if _, seen := prep.Devices[u.ID]; !seen {
+			continue
+		}
+		respondents++
+		res.OccupationPct[u.Occupation]++
+
+		// Ground truth per location.
+		truth := [NumLocations]bool{}
+		if _, ok := prep.HomeAPOf[u.ID]; ok {
+			truth[LocHome] = true
+		}
+		for pair := range prep.AssocPairs[u.ID] {
+			switch prep.ClassOf(pair) {
+			case analysis.APOffice:
+				truth[LocOffice] = true
+			case analysis.APPublic:
+				truth[LocPublic] = true
+			}
+		}
+
+		for loc := Location(0); loc < NumLocations; loc++ {
+			// A small slice of respondents skip every question.
+			if rng.Float64() < 0.05 {
+				na[loc]++
+				continue
+			}
+			answer := truth[loc]
+			// Over-claiming: users recall public hotspots they never
+			// actually joined (§4.2's recognition/connectivity gap);
+			// a small symmetric error elsewhere.
+			switch {
+			case loc == LocPublic && !answer && rng.Float64() < 0.28:
+				answer = true
+			case !answer && rng.Float64() < 0.03:
+				answer = true
+			case answer && rng.Float64() < 0.03:
+				answer = false
+			}
+			if answer {
+				yes[loc]++
+				continue
+			}
+			no[loc]++
+			noCount[loc]++
+			cite := func(r Reason, p float64) {
+				if p >= 0 && rng.Float64() < p {
+					reasons[loc][r]++
+				}
+			}
+			// Behaviour-driven reasons.
+			pNoAP := 0.15
+			if loc == LocHome && !u.HasHomeAP {
+				pNoAP = 0.75
+			}
+			if loc == LocOffice && (u.Office == nil || !u.Office.BYOD) {
+				pNoAP = 0.60
+			}
+			cite(ReasonNoAPs, pNoAP)
+			pConf := 0.25
+			if u.DayOff {
+				pConf = 0.45
+			}
+			cite(ReasonNoConfiguration, pConf)
+			pSetup := 0.30 - 0.05*float64(year-2013)
+			cite(ReasonDifficultSetup, pSetup)
+			// Attitude-driven reasons.
+			b := reasonProfile(year, loc)
+			cite(ReasonBatteryDrain, b.battery)
+			cite(ReasonFailed, b.failed)
+			cite(ReasonSecurity, b.security)
+			cite(ReasonLTEEnough, b.lteEnough)
+			cite(ReasonOther, b.other)
+		}
+	}
+
+	if respondents == 0 {
+		return nil, fmt.Errorf("survey: no respondents")
+	}
+	for i := range res.OccupationPct {
+		res.OccupationPct[i] *= 100 / float64(respondents)
+	}
+	for loc := Location(0); loc < NumLocations; loc++ {
+		total := float64(yes[loc] + no[loc] + na[loc])
+		if total > 0 {
+			res.AssocYes[loc] = 100 * float64(yes[loc]) / total
+			res.AssocNo[loc] = 100 * float64(no[loc]) / total
+			res.AssocNA[loc] = 100 * float64(na[loc]) / total
+		}
+		b := reasonProfile(year, loc)
+		for r := Reason(0); r < NumReasons; r++ {
+			if (r == ReasonSecurity && b.security < 0) || (r == ReasonLTEEnough && b.lteEnough < 0) {
+				res.ReasonPct[loc][r] = -1
+				continue
+			}
+			if noCount[loc] > 0 {
+				res.ReasonPct[loc][r] = 100 * float64(reasons[loc][r]) / float64(noCount[loc])
+			}
+		}
+	}
+	return res, nil
+}

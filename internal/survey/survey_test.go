@@ -1,0 +1,124 @@
+package survey_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"smartusage/internal/analysis"
+	"smartusage/internal/core"
+	"smartusage/internal/survey"
+)
+
+// studyRun builds a small campaign so the survey has real behaviour to
+// condition on.
+func studyRun(t *testing.T, year int) *core.CampaignRun {
+	t.Helper()
+	run, err := core.RunCampaign(year, core.Options{Scale: 0.08, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestConductBasics(t *testing.T) {
+	run := studyRun(t, 2015)
+	sv, err := survey.Conduct(2015, run.Sim.Panel, run.Prep, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupation percentages sum to ~100.
+	var occ float64
+	for _, v := range sv.OccupationPct {
+		occ += v
+	}
+	if math.Abs(occ-100) > 0.001 {
+		t.Fatalf("occupation percentages sum to %g", occ)
+	}
+	// Yes/no/NA partitions per location.
+	for loc := survey.Location(0); loc < survey.NumLocations; loc++ {
+		total := sv.AssocYes[loc] + sv.AssocNo[loc] + sv.AssocNA[loc]
+		if math.Abs(total-100) > 0.001 {
+			t.Fatalf("%v answers sum to %g", loc, total)
+		}
+	}
+	// Home yes should approximate the home-AP ownership the trace shows.
+	homeFrac := float64(len(run.Prep.HomeAPOf)) / float64(len(run.Prep.Devices)) * 100
+	if math.Abs(sv.AssocYes[survey.LocHome]-homeFrac) > 12 {
+		t.Fatalf("home yes %.1f vs inferred ownership %.1f", sv.AssocYes[survey.LocHome], homeFrac)
+	}
+	// Public over-claiming: survey yes must exceed actual connectivity
+	// (§4.2's recognition/connectivity gap).
+	var actualPublic int
+	for dev := range run.Prep.Devices {
+		for pair := range run.Prep.AssocPairs[dev] {
+			if run.Prep.ClassOf(pair) == analysis.APPublic {
+				actualPublic++
+				break
+			}
+		}
+	}
+	actualPct := float64(actualPublic) / float64(len(run.Prep.Devices)) * 100
+	if sv.AssocYes[survey.LocPublic] <= actualPct {
+		t.Fatalf("public yes %.1f should exceed actual %.1f (over-claiming)", sv.AssocYes[survey.LocPublic], actualPct)
+	}
+}
+
+func TestReasonsNAIn2013(t *testing.T) {
+	run := studyRun(t, 2013)
+	sv, err := survey.Conduct(2013, run.Sim.Panel, run.Prep, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for loc := survey.Location(0); loc < survey.NumLocations; loc++ {
+		if sv.ReasonPct[loc][survey.ReasonSecurity] != -1 || sv.ReasonPct[loc][survey.ReasonLTEEnough] != -1 {
+			t.Fatal("2013 survey should mark security/LTE questions NA (Table 9)")
+		}
+	}
+}
+
+func TestOfficeNoAPsLeads(t *testing.T) {
+	run := studyRun(t, 2015)
+	sv, err := survey.Conduct(2015, run.Sim.Panel, run.Prep, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "No available APs" should be the leading reason at offices (~52% in
+	// Table 9's 2015 column).
+	lead := sv.ReasonPct[survey.LocOffice][survey.ReasonNoAPs]
+	for r := survey.Reason(0); r < survey.NumReasons; r++ {
+		if v := sv.ReasonPct[survey.LocOffice][r]; v > lead {
+			t.Fatalf("office reason %v (%.1f) exceeds 'no APs' (%.1f)", r, v, lead)
+		}
+	}
+}
+
+func TestConductErrors(t *testing.T) {
+	if _, err := survey.Conduct(2015, nil, nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("nil inputs accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := studyRun(t, 2014)
+	a, err := survey.Conduct(2014, run.Sim.Panel, run.Prep, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := survey.Conduct(2014, run.Sim.Panel, run.Prep, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatal("same seed produced different surveys")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if survey.LocHome.String() != "home" || survey.LocPublic.String() != "public" {
+		t.Fatal("location names")
+	}
+	if survey.ReasonNoAPs.String() != "No available APs" || survey.ReasonLTEEnough.String() != "LTE is enough" {
+		t.Fatal("reason names")
+	}
+}

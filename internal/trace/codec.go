@@ -1,0 +1,322 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format
+//
+// A trace file is the 5-byte header "SMTR1" followed by records. Each record
+// is a uvarint payload length and the payload itself. The payload packs the
+// Sample fields in declaration order using unsigned varints, zig-zag varints
+// for signed quantities, and length-prefixed bytes for strings. The format is
+// self-delimiting and streams: the reader never needs to seek.
+
+var fileMagic = []byte("SMTR1")
+
+// MaxSampleSize bounds one encoded sample. It protects readers (and the
+// collector, which shares this codec) from corrupt or hostile length
+// prefixes. A legitimate sample is a few hundred bytes; 1 MiB is generous.
+const MaxSampleSize = 1 << 20
+
+// ErrBadMagic is returned when a trace stream does not start with the
+// expected header.
+var ErrBadMagic = errors.New("trace: bad magic (not a trace stream)")
+
+// AppendSample encodes s and appends it (without a length prefix) to dst,
+// returning the extended slice.
+func AppendSample(dst []byte, s *Sample) []byte {
+	dst = binary.AppendUvarint(dst, uint64(s.Device))
+	dst = append(dst, byte(s.OS))
+	dst = binary.AppendVarint(dst, s.Time)
+	dst = binary.AppendVarint(dst, int64(s.GeoCX))
+	dst = binary.AppendVarint(dst, int64(s.GeoCY))
+	dst = append(dst, byte(s.WiFiState), byte(s.RAT), s.Carrier)
+	dst = binary.AppendUvarint(dst, s.CellRX)
+	dst = binary.AppendUvarint(dst, s.CellTX)
+	dst = binary.AppendUvarint(dst, s.WiFiRX)
+	dst = binary.AppendUvarint(dst, s.WiFiTX)
+	dst = binary.AppendUvarint(dst, uint64(len(s.Apps)))
+	for _, a := range s.Apps {
+		dst = append(dst, byte(a.Category), byte(a.Iface))
+		dst = binary.AppendUvarint(dst, a.RX)
+		dst = binary.AppendUvarint(dst, a.TX)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(s.APs)))
+	for i := range s.APs {
+		ap := &s.APs[i]
+		dst = binary.AppendUvarint(dst, uint64(ap.BSSID))
+		dst = binary.AppendUvarint(dst, uint64(len(ap.ESSID)))
+		dst = append(dst, ap.ESSID...)
+		dst = binary.AppendVarint(dst, int64(ap.RSSI))
+		dst = append(dst, ap.Channel, byte(ap.Band), boolByte(ap.Associated))
+	}
+	dst = append(dst, s.Battery, boolByte(s.Tethered))
+	return dst
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// DecodeSample decodes one sample previously encoded by AppendSample and
+// returns the number of bytes consumed.
+func DecodeSample(buf []byte, s *Sample) (int, error) {
+	d := decoder{buf: buf}
+	s.Device = DeviceID(d.uvarint())
+	s.OS = OS(d.byte())
+	s.Time = d.varint()
+	s.GeoCX = int16(d.varint())
+	s.GeoCY = int16(d.varint())
+	s.WiFiState = WiFiState(d.byte())
+	s.RAT = RAT(d.byte())
+	s.Carrier = d.byte()
+	s.CellRX = d.uvarint()
+	s.CellTX = d.uvarint()
+	s.WiFiRX = d.uvarint()
+	s.WiFiTX = d.uvarint()
+
+	nApps := d.uvarint()
+	if d.err == nil && nApps > uint64(len(buf)) {
+		return 0, fmt.Errorf("trace: corrupt app count %d", nApps)
+	}
+	s.Apps = s.Apps[:0]
+	for i := uint64(0); i < nApps && d.err == nil; i++ {
+		var a AppTraffic
+		a.Category = Category(d.byte())
+		a.Iface = Iface(d.byte())
+		a.RX = d.uvarint()
+		a.TX = d.uvarint()
+		s.Apps = append(s.Apps, a)
+	}
+
+	nAPs := d.uvarint()
+	if d.err == nil && nAPs > uint64(len(buf)) {
+		return 0, fmt.Errorf("trace: corrupt AP count %d", nAPs)
+	}
+	s.APs = s.APs[:0]
+	for i := uint64(0); i < nAPs && d.err == nil; i++ {
+		var ap APObs
+		ap.BSSID = BSSID(d.uvarint())
+		ap.ESSID = d.string()
+		ap.RSSI = int8(d.varint())
+		ap.Channel = d.byte()
+		ap.Band = Band(d.byte())
+		ap.Associated = d.byte() != 0
+		s.APs = append(s.APs, ap)
+	}
+
+	s.Battery = d.byte()
+	s.Tethered = d.byte() != 0
+	if d.err != nil {
+		return 0, fmt.Errorf("trace: decode sample: %w", d.err)
+	}
+	return d.off, nil
+}
+
+// decoder tracks an offset and a sticky error across field reads.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.err = io.ErrUnexpectedEOF
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// Writer streams samples to an io.Writer in the binary trace format.
+type Writer struct {
+	bw      *bufio.Writer
+	scratch []byte
+	n       int
+	started bool
+}
+
+// NewWriter returns a Writer over w. The header is emitted lazily on the
+// first Write so that an aborted run leaves no partial file header behind an
+// empty stream.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write encodes and appends one sample.
+func (w *Writer) Write(s *Sample) error {
+	if !w.started {
+		if _, err := w.bw.Write(fileMagic); err != nil {
+			return fmt.Errorf("trace: write header: %w", err)
+		}
+		w.started = true
+	}
+	w.scratch = AppendSample(w.scratch[:0], s)
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(w.scratch)))
+	if _, err := w.bw.Write(lenBuf[:n]); err != nil {
+		return fmt.Errorf("trace: write length: %w", err)
+	}
+	if _, err := w.bw.Write(w.scratch); err != nil {
+		return fmt.Errorf("trace: write sample: %w", err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of samples written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush forces buffered data to the underlying writer. Callers must Flush
+// (or use a helper that does) before closing the underlying file.
+func (w *Writer) Flush() error {
+	if !w.started {
+		// An empty trace still carries the magic so readers accept it.
+		if _, err := w.bw.Write(fileMagic); err != nil {
+			return fmt.Errorf("trace: write header: %w", err)
+		}
+		w.started = true
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Reader streams samples from an io.Reader in the binary trace format.
+type Reader struct {
+	br      *bufio.Reader
+	buf     []byte
+	checked bool
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Read decodes the next sample into s, reusing s's slices. It returns io.EOF
+// at a clean end of stream.
+func (r *Reader) Read(s *Sample) error {
+	if !r.checked {
+		hdr := make([]byte, len(fileMagic))
+		if _, err := io.ReadFull(r.br, hdr); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return fmt.Errorf("trace: short header: %w", ErrBadMagic)
+			}
+			return fmt.Errorf("trace: read header: %w", err)
+		}
+		if string(hdr) != string(fileMagic) {
+			return ErrBadMagic
+		}
+		r.checked = true
+	}
+	size, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("trace: read length: %w", err)
+	}
+	if size > MaxSampleSize {
+		return fmt.Errorf("trace: sample length %d exceeds limit %d", size, MaxSampleSize)
+	}
+	if cap(r.buf) < int(size) {
+		r.buf = make([]byte, size)
+	}
+	r.buf = r.buf[:size]
+	if _, err := io.ReadFull(r.br, r.buf); err != nil {
+		return fmt.Errorf("trace: read sample body: %w", err)
+	}
+	n, err := DecodeSample(r.buf, s)
+	if err != nil {
+		return err
+	}
+	if n != int(size) {
+		return fmt.Errorf("trace: sample decoded %d of %d bytes", n, size)
+	}
+	return nil
+}
+
+// ReadAll drains the stream, calling fn for each sample. The *Sample passed
+// to fn is reused between calls; fn must copy it to retain it.
+func (r *Reader) ReadAll(fn func(*Sample) error) error {
+	var s Sample
+	for {
+		err := r.Read(&s)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(&s); err != nil {
+			return err
+		}
+	}
+}
+
+// Clone returns a deep copy of s, including its slices.
+func (s *Sample) Clone() *Sample {
+	out := *s
+	if s.Apps != nil {
+		out.Apps = append([]AppTraffic(nil), s.Apps...)
+	}
+	if s.APs != nil {
+		out.APs = append([]APObs(nil), s.APs...)
+	}
+	return &out
+}

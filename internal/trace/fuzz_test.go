@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecodeSample drives the binary decoder with arbitrary bytes: it must
+// never panic, and any successfully decoded sample must survive an
+// encode/decode round trip as a fixed point. (Byte-for-byte equality with
+// the input is NOT required: varints admit non-minimal encodings, which the
+// decoder tolerates and the encoder normalizes.)
+func FuzzDecodeSample(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 8; i++ {
+		s := randomSample(rng)
+		f.Add(AppendSample(nil, &s))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Sample
+		if _, err := DecodeSample(data, &s); err != nil {
+			return
+		}
+		enc := AppendSample(nil, &s)
+		var s2 Sample
+		n, err := DecodeSample(enc, &s2)
+		if err != nil {
+			t.Fatalf("canonical re-encode failed to decode: %v", err)
+		}
+		if n != len(enc) {
+			t.Fatalf("canonical re-encode consumed %d of %d", n, len(enc))
+		}
+		if !samplesEqual(&s, &s2) {
+			t.Fatal("encode/decode is not a fixed point")
+		}
+		if enc2 := AppendSample(nil, &s2); string(enc2) != string(enc) {
+			t.Fatal("canonical encoding is not stable")
+		}
+	})
+}
+
+// FuzzUnmarshalJSONSample drives the JSONL decoder with arbitrary lines.
+func FuzzUnmarshalJSONSample(f *testing.F) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 4; i++ {
+		s := randomSample(rng)
+		line, err := MarshalJSONSample(&s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(line)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"device":"00","os":"android","wifi_state":"off","rat":"3g"}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var s Sample
+		if err := UnmarshalJSONSample(line, &s); err != nil {
+			return
+		}
+		// Whatever parsed must re-marshal and re-parse identically.
+		out, err := MarshalJSONSample(&s)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted sample failed: %v", err)
+		}
+		var s2 Sample
+		if err := UnmarshalJSONSample(out, &s2); err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if !samplesEqual(&s, &s2) {
+			t.Fatal("round trip through JSON changed the sample")
+		}
+	})
+}

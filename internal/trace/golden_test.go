@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// goldenSample is a fixed sample covering every field; its encodings below
+// pin the wire formats. If either test fails, the trace format changed:
+// bump the file magic (SMTR1 → SMTR2) and keep a reader for the old format
+// rather than silently breaking existing trace files.
+func goldenSample() Sample {
+	return Sample{
+		Device:    0x0123456789abcdef,
+		OS:        Android,
+		Time:      1425254400, // 2015-03-02 09:00 JST
+		GeoCX:     18,
+		GeoCY:     -3,
+		WiFiState: WiFiAssociated,
+		RAT:       RATLTE,
+		Carrier:   2,
+		CellRX:    123456,
+		CellTX:    7890,
+		WiFiRX:    987654321,
+		WiFiTX:    12345,
+		Apps: []AppTraffic{
+			{Category: CatVideo, Iface: WiFi, RX: 5000, TX: 100},
+			{Category: CatBrowser, Iface: Cellular, RX: 300, TX: 30},
+		},
+		APs: []APObs{
+			{BSSID: 0x0024a5000001, ESSID: "0000docomo", RSSI: -61, Channel: 6, Band: Band24, Associated: true},
+			{BSSID: 0x001d73000002, ESSID: "aterm-77-g", RSSI: -80, Channel: 1, Band: Band24},
+		},
+		Battery:  73,
+		Tethered: false,
+	}
+}
+
+const goldenHex = "ef9bafcdf8acd191010080a09dcf0a2405020102c0c407d23db1d1f9d603b960" +
+	"0202018827640000ac021e02818080a8ca040a30303030646f636f6d6f790600" +
+	"0182808098d7030a617465726d2d37372d679f010100004900"
+
+func TestGoldenBinaryEncoding(t *testing.T) {
+	s := goldenSample()
+	got := hex.EncodeToString(AppendSample(nil, &s))
+	if got != goldenHex {
+		t.Fatalf("binary encoding changed:\n got  %s\n want %s\n"+
+			"If intentional, bump the trace format version.", got, goldenHex)
+	}
+}
+
+func TestGoldenBinaryDecoding(t *testing.T) {
+	raw, err := hex.DecodeString(goldenHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Sample
+	n, err := DecodeSample(raw, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(raw) {
+		t.Fatalf("consumed %d of %d", n, len(raw))
+	}
+	want := goldenSample()
+	if !samplesEqual(&want, &out) {
+		t.Fatalf("decoded golden sample differs:\n got  %+v\n want %+v", out, want)
+	}
+}
+
+func TestGoldenJSONL(t *testing.T) {
+	s := goldenSample()
+	line, err := MarshalJSONSample(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantJSON = `{"device":"0123456789abcdef","os":"android","time":1425254400,` +
+		`"geo_cx":18,"geo_cy":-3,"wifi_state":"associated","rat":"lte","carrier":2,` +
+		`"cell_rx":123456,"cell_tx":7890,"wifi_rx":987654321,"wifi_tx":12345,` +
+		`"apps":[{"category":"video","iface":"wifi","rx":5000,"tx":100},` +
+		`{"category":"browser","iface":"cellular","rx":300,"tx":30}],` +
+		`"aps":[{"bssid":"00:24:a5:00:00:01","essid":"0000docomo","rssi":-61,"channel":6,"band":"2.4GHz","associated":true},` +
+		`{"bssid":"00:1d:73:00:00:02","essid":"aterm-77-g","rssi":-80,"channel":1,"band":"2.4GHz"}],` +
+		`"battery":73}`
+	if !bytes.Equal(line, []byte(wantJSON)) {
+		t.Fatalf("JSONL encoding changed:\n got  %s\n want %s", line, wantJSON)
+	}
+}

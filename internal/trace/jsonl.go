@@ -1,0 +1,258 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// JSON Lines codec. Each sample is one JSON object per line, using stable
+// snake_case field names. This format trades size and speed for
+// inspectability; the binary codec is the default everywhere performance
+// matters.
+
+type jsonSample struct {
+	Device    string    `json:"device"`
+	OS        string    `json:"os"`
+	Time      int64     `json:"time"`
+	GeoCX     int16     `json:"geo_cx"`
+	GeoCY     int16     `json:"geo_cy"`
+	WiFiState string    `json:"wifi_state"`
+	RAT       string    `json:"rat"`
+	Carrier   uint8     `json:"carrier"`
+	CellRX    uint64    `json:"cell_rx"`
+	CellTX    uint64    `json:"cell_tx"`
+	WiFiRX    uint64    `json:"wifi_rx"`
+	WiFiTX    uint64    `json:"wifi_tx"`
+	Apps      []jsonApp `json:"apps,omitempty"`
+	APs       []jsonAP  `json:"aps,omitempty"`
+	Battery   uint8     `json:"battery"`
+	Tethered  bool      `json:"tethered,omitempty"`
+}
+
+type jsonApp struct {
+	Category string `json:"category"`
+	Iface    string `json:"iface"`
+	RX       uint64 `json:"rx"`
+	TX       uint64 `json:"tx"`
+}
+
+type jsonAP struct {
+	BSSID      string `json:"bssid"`
+	ESSID      string `json:"essid"`
+	RSSI       int8   `json:"rssi"`
+	Channel    uint8  `json:"channel"`
+	Band       string `json:"band"`
+	Associated bool   `json:"associated,omitempty"`
+}
+
+// MarshalJSONSample renders s as a single-line JSON object (no trailing
+// newline).
+func MarshalJSONSample(s *Sample) ([]byte, error) {
+	js := jsonSample{
+		Device:    s.Device.String(),
+		OS:        s.OS.String(),
+		Time:      s.Time,
+		GeoCX:     s.GeoCX,
+		GeoCY:     s.GeoCY,
+		WiFiState: s.WiFiState.String(),
+		RAT:       s.RAT.String(),
+		Carrier:   s.Carrier,
+		CellRX:    s.CellRX,
+		CellTX:    s.CellTX,
+		WiFiRX:    s.WiFiRX,
+		WiFiTX:    s.WiFiTX,
+		Battery:   s.Battery,
+		Tethered:  s.Tethered,
+	}
+	for _, a := range s.Apps {
+		js.Apps = append(js.Apps, jsonApp{
+			Category: a.Category.String(),
+			Iface:    a.Iface.String(),
+			RX:       a.RX,
+			TX:       a.TX,
+		})
+	}
+	for i := range s.APs {
+		ap := &s.APs[i]
+		js.APs = append(js.APs, jsonAP{
+			BSSID:      ap.BSSID.String(),
+			ESSID:      ap.ESSID,
+			RSSI:       ap.RSSI,
+			Channel:    ap.Channel,
+			Band:       ap.Band.String(),
+			Associated: ap.Associated,
+		})
+	}
+	return json.Marshal(js)
+}
+
+// UnmarshalJSONSample parses one JSON object produced by MarshalJSONSample.
+func UnmarshalJSONSample(line []byte, s *Sample) error {
+	var js jsonSample
+	if err := json.Unmarshal(line, &js); err != nil {
+		return fmt.Errorf("trace: jsonl parse: %w", err)
+	}
+	var dev uint64
+	if _, err := fmt.Sscanf(js.Device, "%x", &dev); err != nil {
+		return fmt.Errorf("trace: jsonl device %q: %w", js.Device, err)
+	}
+	s.Device = DeviceID(dev)
+	switch js.OS {
+	case "android":
+		s.OS = Android
+	case "ios":
+		s.OS = IOS
+	default:
+		return fmt.Errorf("trace: jsonl unknown os %q", js.OS)
+	}
+	s.Time = js.Time
+	s.GeoCX, s.GeoCY = js.GeoCX, js.GeoCY
+	switch js.WiFiState {
+	case "off":
+		s.WiFiState = WiFiOff
+	case "on":
+		s.WiFiState = WiFiOn
+	case "associated":
+		s.WiFiState = WiFiAssociated
+	default:
+		return fmt.Errorf("trace: jsonl unknown wifi state %q", js.WiFiState)
+	}
+	switch js.RAT {
+	case "3g":
+		s.RAT = RAT3G
+	case "lte":
+		s.RAT = RATLTE
+	default:
+		return fmt.Errorf("trace: jsonl unknown rat %q", js.RAT)
+	}
+	s.Carrier = js.Carrier
+	s.CellRX, s.CellTX = js.CellRX, js.CellTX
+	s.WiFiRX, s.WiFiTX = js.WiFiRX, js.WiFiTX
+	s.Battery = js.Battery
+	s.Tethered = js.Tethered
+	s.Apps = s.Apps[:0]
+	for _, a := range js.Apps {
+		cat, ok := CategoryByName(a.Category)
+		if !ok {
+			return fmt.Errorf("trace: jsonl unknown category %q", a.Category)
+		}
+		var ifc Iface
+		switch a.Iface {
+		case "cellular":
+			ifc = Cellular
+		case "wifi":
+			ifc = WiFi
+		default:
+			return fmt.Errorf("trace: jsonl unknown iface %q", a.Iface)
+		}
+		s.Apps = append(s.Apps, AppTraffic{Category: cat, Iface: ifc, RX: a.RX, TX: a.TX})
+	}
+	s.APs = s.APs[:0]
+	for _, ap := range js.APs {
+		var mac [6]uint64
+		if _, err := fmt.Sscanf(ap.BSSID, "%x:%x:%x:%x:%x:%x",
+			&mac[0], &mac[1], &mac[2], &mac[3], &mac[4], &mac[5]); err != nil {
+			return fmt.Errorf("trace: jsonl bssid %q: %w", ap.BSSID, err)
+		}
+		var b BSSID
+		for _, m := range mac {
+			b = b<<8 | BSSID(m&0xff)
+		}
+		var band Band
+		switch ap.Band {
+		case "2.4GHz":
+			band = Band24
+		case "5GHz":
+			band = Band5
+		default:
+			return fmt.Errorf("trace: jsonl unknown band %q", ap.Band)
+		}
+		s.APs = append(s.APs, APObs{
+			BSSID:      b,
+			ESSID:      ap.ESSID,
+			RSSI:       ap.RSSI,
+			Channel:    ap.Channel,
+			Band:       band,
+			Associated: ap.Associated,
+		})
+	}
+	return nil
+}
+
+// JSONLWriter streams samples as JSON Lines.
+type JSONLWriter struct {
+	bw *bufio.Writer
+}
+
+// NewJSONLWriter returns a JSONLWriter over w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write appends one sample as a JSON line.
+func (w *JSONLWriter) Write(s *Sample) error {
+	b, err := MarshalJSONSample(s)
+	if err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(b); err != nil {
+		return fmt.Errorf("trace: jsonl write: %w", err)
+	}
+	if err := w.bw.WriteByte('\n'); err != nil {
+		return fmt.Errorf("trace: jsonl write: %w", err)
+	}
+	return nil
+}
+
+// Flush forces buffered data out.
+func (w *JSONLWriter) Flush() error { return w.bw.Flush() }
+
+// JSONLReader streams samples from JSON Lines input.
+type JSONLReader struct {
+	sc *bufio.Scanner
+}
+
+// NewJSONLReader returns a JSONLReader over r. Lines up to MaxSampleSize are
+// accepted.
+func NewJSONLReader(r io.Reader) *JSONLReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), MaxSampleSize)
+	return &JSONLReader{sc: sc}
+}
+
+// Read parses the next line into s, skipping blank lines. It returns io.EOF
+// at end of input.
+func (r *JSONLReader) Read(s *Sample) error {
+	for r.sc.Scan() {
+		line := r.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		return UnmarshalJSONSample(line, s)
+	}
+	if err := r.sc.Err(); err != nil {
+		return fmt.Errorf("trace: jsonl scan: %w", err)
+	}
+	return io.EOF
+}
+
+// ReadAll drains the stream, calling fn for each sample; the *Sample is
+// reused between calls.
+func (r *JSONLReader) ReadAll(fn func(*Sample) error) error {
+	var s Sample
+	for {
+		err := r.Read(&s)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(&s); err != nil {
+			return err
+		}
+	}
+}

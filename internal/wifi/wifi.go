@@ -1,0 +1,165 @@
+// Package wifi models the WiFi side of the study: access points identified
+// by (BSSID, ESSID) pairs, their location class (home, public, office,
+// mobile), frequency band and channel plan, a log-distance RSSI propagation
+// model, and a per-year deployment generator for the Greater Tokyo region.
+//
+// The model reproduces the structure behind §3.4 and §3.5 of the paper:
+// public ESSIDs drawn from the well-known carrier/free services
+// (0000docomo, 0001softbank, ...), a doubling public-AP deployment between
+// 2013 and 2015 concentrated downtown, rapid 5 GHz rollout in public spaces
+// only, home APs clustered on channel 1 in 2013 and better dispersed by
+// 2015, and public cells engineered onto channels 1/6/11.
+package wifi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"smartusage/internal/geo"
+	"smartusage/internal/trace"
+)
+
+// Class is the location class of an AP, matching §3.4.1's home / public /
+// other taxonomy; "other" subsumes offices, mobile routers, and open APs in
+// shops and hotels, with office inferred separately.
+type Class uint8
+
+// AP classes.
+const (
+	ClassHome Class = iota
+	ClassPublic
+	ClassOffice
+	ClassMobile
+	ClassOpen // shops, hotels, other open APs
+	numClass
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassHome:
+		return "home"
+	case ClassPublic:
+		return "public"
+	case ClassOffice:
+		return "office"
+	case ClassMobile:
+		return "mobile"
+	case ClassOpen:
+		return "open"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// PublicESSIDs are the well-known public WiFi network names the paper's
+// classifier keys on (§3.4.1). Deployment draws from this list; the analysis
+// side re-derives publicness from the name alone, as the paper does.
+var PublicESSIDs = []string{
+	"0000docomo",
+	"0001softbank",
+	"au_Wi-Fi",
+	"Wi2premium",
+	"7SPOT",
+	"Metro_Free_Wi-Fi",
+	"FON_FREE_INTERNET",
+	"eduroam",
+	"JR-EAST_FREE_Wi-Fi",
+	"Famima_Wi-Fi",
+}
+
+// IsPublicESSID reports whether essid belongs to the public registry.
+func IsPublicESSID(essid string) bool {
+	for _, e := range PublicESSIDs {
+		if e == essid {
+			return true
+		}
+	}
+	return false
+}
+
+// AP is one deployed access point.
+type AP struct {
+	BSSID   trace.BSSID
+	ESSID   string
+	Class   Class
+	Band    trace.Band
+	Channel uint8
+	Pos     geo.Point
+	// TxPowerDBm is the effective transmit power used by the propagation
+	// model; indoor home APs are weaker than engineered public cells.
+	TxPowerDBm float64
+}
+
+// Cell returns the AP's 5 km grid cell.
+func (a *AP) Cell() geo.Cell { return geo.CellOf(a.Pos) }
+
+// Channels24 lists the 13 usable 2.4 GHz channels in Japan (802.11b/g/n).
+const Channels24 = 13
+
+// NonOverlapping24 are the classic non-interfering 2.4 GHz channels public
+// deployments are engineered onto (§3.4.5).
+var NonOverlapping24 = []uint8{1, 6, 11}
+
+// Channels5 lists common Japanese 5 GHz (W52/W53) channels.
+var Channels5 = []uint8{36, 40, 44, 48, 52, 56, 60, 64}
+
+// Interferes reports whether two 2.4 GHz channels interfere: the paper notes
+// "at least a five-channel interval is necessary to avoid cross channel
+// interference" (§3.4.5). 5 GHz channels are treated as orthogonal.
+func Interferes(a, b uint8, band trace.Band) bool {
+	if band == trace.Band5 {
+		return a == b
+	}
+	d := int(a) - int(b)
+	if d < 0 {
+		d = -d
+	}
+	return d < 5
+}
+
+// PathLoss is the log-distance propagation model used to derive RSSI at a
+// receiver: RSSI = TxPower - PL0 - 10*n*log10(d/d0) + shadowing. Parameters
+// are chosen so home APs observed indoors center near -54 dBm and public
+// APs near -60 dBm (Fig. 15).
+type PathLoss struct {
+	// PL0 is the reference loss at D0 metres.
+	PL0 float64
+	// D0 is the reference distance in metres.
+	D0 float64
+	// Exponent is the path-loss exponent n (2 free space, 3-4 indoor).
+	Exponent float64
+	// ShadowSigma is the standard deviation (dB) of log-normal shadowing.
+	ShadowSigma float64
+}
+
+// DefaultPathLoss is an indoor/urban 2.4 GHz profile.
+var DefaultPathLoss = PathLoss{PL0: 40, D0: 1, Exponent: 3.0, ShadowSigma: 2}
+
+// PathLoss5GHz attenuates faster, reflecting the shorter reach of 5 GHz.
+var PathLoss5GHz = PathLoss{PL0: 46, D0: 1, Exponent: 3.2, ShadowSigma: 2}
+
+// RSSI returns the received signal strength (dBm) at distance d metres for
+// an AP transmitting at txPower dBm, with shadowing drawn from rng. Results
+// are clamped to [-95, -20], the plausible reporting range of a handset.
+func (p PathLoss) RSSI(txPower, dMetres float64, rng *rand.Rand) float64 {
+	if dMetres < p.D0 {
+		dMetres = p.D0
+	}
+	rssi := txPower - p.PL0 - 10*p.Exponent*math.Log10(dMetres/p.D0)
+	if p.ShadowSigma > 0 && rng != nil {
+		rssi += rng.NormFloat64() * p.ShadowSigma
+	}
+	if rssi > -20 {
+		rssi = -20
+	}
+	if rssi < -95 {
+		rssi = -95
+	}
+	return rssi
+}
+
+// StrongRSSI is the association-quality threshold the paper uses throughout:
+// "an RSSI larger than -70dBm is generally better for WiFi connectivity"
+// (§3.4.4).
+const StrongRSSI = -70.0
