@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench report experiments clean
+.PHONY: all build vet test test-short bench check fmt-check bench-smoke report experiments clean
 
 all: build vet test
 
@@ -20,6 +20,19 @@ test-short:
 
 bench:
 	$(GO) test -bench . -benchmem .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# One-iteration benchmark pass: catches bit-rot in benchmark code (and the
+# decode-count assertions inside it) without paying for real measurements.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# The full CI gate: formatting, vet, race-enabled tests, benchmark smoke.
+check: fmt-check vet
+	$(GO) test -race ./...
+	$(MAKE) bench-smoke
 
 # Regenerate EXPERIMENTS.md at the reference scale.
 experiments:

@@ -261,11 +261,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("analyze: ")
 	var (
-		tracePath = flag.String("trace", "", "binary trace file (empty simulates fresh)")
-		year      = flag.Int("year", 2015, "campaign year the trace belongs to")
-		scale     = flag.Float64("scale", 0.25, "panel scale (for fresh simulation or count rescaling)")
-		seed      = flag.Int64("seed", 1, "random seed (fresh simulation)")
-		exp       = flag.String("exp", "", "experiment id (or 'list')")
+		tracePath  = flag.String("trace", "", "binary trace file (empty simulates fresh)")
+		year       = flag.Int("year", 2015, "campaign year the trace belongs to")
+		scale      = flag.Float64("scale", 0.25, "panel scale (for fresh simulation or count rescaling)")
+		seed       = flag.Int64("seed", 1, "random seed (fresh simulation)")
+		exp        = flag.String("exp", "", "experiment id (or 'list')")
+		workers    = flag.Int("workers", 0, "simulation workers (0 = sequential, -1 = all cores)")
+		anaWorkers = flag.Int("analysis-workers", 0, "analysis workers (0 = sequential, -1 = all cores)")
 	)
 	flag.Parse()
 
@@ -286,12 +288,20 @@ func main() {
 	var run *core.CampaignRun
 	var err error
 	if *tracePath == "" {
-		run, err = core.RunCampaign(*year, core.Options{Scale: *scale, Seed: *seed})
+		run, err = core.RunCampaign(*year, core.Options{
+			Scale: *scale, Seed: *seed,
+			Workers: *workers, AnalysisWorkers: *anaWorkers,
+		})
 	} else {
 		var cfg config.Campaign
 		cfg, err = config.ForYear(*year, *scale, *seed)
 		if err == nil {
-			run, err = core.AnalyzeCampaign(cfg, nil, analysis.FileSource(*tracePath))
+			src := analysis.FileSource(*tracePath)
+			if *anaWorkers != 0 {
+				run, err = core.AnalyzeCampaignParallel(cfg, nil, src, *anaWorkers)
+			} else {
+				run, err = core.AnalyzeCampaign(cfg, nil, src)
+			}
 		}
 	}
 	if err != nil {

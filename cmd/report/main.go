@@ -21,15 +21,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("report: ")
 	var (
-		scale    = flag.Float64("scale", 0.25, "panel scale (1.0 = paper size)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		out      = flag.String("o", "", "output file (default stdout)")
-		traceDir = flag.String("tracedir", "", "spool traces to this directory instead of memory")
-		workers  = flag.Int("workers", 0, "simulation workers (0 = sequential, -1 = all cores)")
+		scale      = flag.Float64("scale", 0.25, "panel scale (1.0 = paper size)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		out        = flag.String("o", "", "output file (default stdout)")
+		traceDir   = flag.String("tracedir", "", "spool traces to this directory instead of memory")
+		workers    = flag.Int("workers", 0, "simulation workers (0 = sequential, -1 = all cores)")
+		anaWorkers = flag.Int("analysis-workers", 0, "analysis workers (0 = sequential, -1 = all cores)")
 	)
 	flag.Parse()
 
-	st, err := core.RunStudy(core.Options{Scale: *scale, Seed: *seed, TraceDir: *traceDir, Workers: *workers})
+	st, err := core.RunStudy(core.Options{
+		Scale: *scale, Seed: *seed, TraceDir: *traceDir,
+		Workers: *workers, AnalysisWorkers: *anaWorkers,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -24,6 +24,20 @@ func (a *Aggregate) Add(s *trace.Sample) {
 	a.wifiTX[h] += float64(s.WiFiTX)
 }
 
+// NewShard implements ShardedAnalyzer.
+func (a *Aggregate) NewShard() Analyzer { return NewAggregate(a.meta) }
+
+// Merge implements ShardedAnalyzer.
+func (a *Aggregate) Merge(shard Analyzer) {
+	o := shard.(*Aggregate)
+	for h := 0; h < 168; h++ {
+		a.cellRX[h] += o.cellRX[h]
+		a.cellTX[h] += o.cellTX[h]
+		a.wifiRX[h] += o.wifiRX[h]
+		a.wifiTX[h] += o.wifiTX[h]
+	}
+}
+
 // AggregateResult holds the Fig. 2 curves (Mbit/s per hour-of-week bin;
 // bin 0 = Sunday 00:00).
 type AggregateResult struct {

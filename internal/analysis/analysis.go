@@ -12,6 +12,11 @@
 //     The Run helper applies the paper's cleaning rules (tethering removal
 //     and update-day excision, §2) before cleaned analyzers see a sample.
 //
+// Both passes exist in a sequential form (BuildPrep, Run) and a sharded
+// parallel form (BuildPrepShards/BuildPrepParallel, RunShards/RunParallel)
+// that partitions samples by device across workers and merges shard results
+// deterministically; see shard.go for the engine and the merge contract.
+//
 // Analyzer results are plain data structs that renderers print and tests
 // assert against.
 package analysis
@@ -168,23 +173,30 @@ type Analyzer interface {
 // day and the following day removed, §2).
 func Run(src Source, prep *Prep, cleaned []Analyzer, raw []Analyzer) error {
 	return src(func(s *trace.Sample) error {
-		for _, a := range raw {
-			a.Add(s)
-		}
-		if s.Tethered {
-			return nil
-		}
-		if prep != nil {
-			if d, ok := prep.UpdateDay[s.Device]; ok {
-				day := prep.Meta.Day(s.Time)
-				if day == d || day == d+1 {
-					return nil
-				}
-			}
-		}
-		for _, a := range cleaned {
-			a.Add(s)
-		}
+		dispatch(s, prep, cleaned, raw)
 		return nil
 	})
+}
+
+// dispatch applies the cleaning rules to one sample and feeds the
+// analyzers. It is the single definition of the second-pass semantics, shared
+// by the sequential Run and the sharded RunShards/RunParallel paths.
+func dispatch(s *trace.Sample, prep *Prep, cleaned []Analyzer, raw []Analyzer) {
+	for _, a := range raw {
+		a.Add(s)
+	}
+	if s.Tethered {
+		return
+	}
+	if prep != nil {
+		if d, ok := prep.UpdateDay[s.Device]; ok {
+			day := prep.Meta.Day(s.Time)
+			if day == d || day == d+1 {
+				return
+			}
+		}
+	}
+	for _, a := range cleaned {
+		a.Add(s)
+	}
 }

@@ -157,15 +157,15 @@ func TestAssocDurationRuns(t *testing.T) {
 	ad := NewAssocDuration(meta, p)
 	feed(t, ad, b.samples)
 	r := ad.Result()
-	hours := r.Hours[APPublic]
+	hours := r.Hours[APPublic] // sorted ascending
 	if len(hours) != 2 {
 		t.Fatalf("runs %v", hours)
 	}
-	if math.Abs(hours[0]-1.0) > 1e-9 {
-		t.Fatalf("first run %g h, want 1", hours[0])
+	if math.Abs(hours[0]-1.0/6) > 1e-9 {
+		t.Fatalf("short run %g h, want 10 min", hours[0])
 	}
-	if math.Abs(hours[1]-1.0/6) > 1e-9 {
-		t.Fatalf("second run %g h, want 10 min", hours[1])
+	if math.Abs(hours[1]-1.0) > 1e-9 {
+		t.Fatalf("long run %g h, want 1", hours[1])
 	}
 }
 

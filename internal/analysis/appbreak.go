@@ -90,6 +90,22 @@ func (ab *AppBreakdown) Add(s *trace.Sample) {
 	}
 }
 
+// NewShard implements ShardedAnalyzer.
+func (ab *AppBreakdown) NewShard() Analyzer { return NewAppBreakdown(ab.meta, ab.prep) }
+
+// Merge implements ShardedAnalyzer.
+func (ab *AppBreakdown) Merge(shard Analyzer) {
+	o := shard.(*AppBreakdown)
+	for sc := AppScene(0); sc < NumAppScenes; sc++ {
+		for c := 0; c < int(trace.NumCategories); c++ {
+			ab.rx[sc][c] += o.rx[sc][c]
+			ab.tx[sc][c] += o.tx[sc][c]
+			ab.rxLight[sc][c] += o.rxLight[sc][c]
+			ab.txLight[sc][c] += o.txLight[sc][c]
+		}
+	}
+}
+
 // CategoryShare is one ranked table entry.
 type CategoryShare struct {
 	Category trace.Category

@@ -158,6 +158,23 @@ func (a *APsPerDay) Add(s *trace.Sample) {
 	set[APKey{BSSID: ap.BSSID, ESSID: ap.ESSID}] = true
 }
 
+// NewShard implements ShardedAnalyzer.
+func (a *APsPerDay) NewShard() Analyzer { return NewAPsPerDay(a.meta, a.prep) }
+
+// Merge implements ShardedAnalyzer.
+func (a *APsPerDay) Merge(shard Analyzer) {
+	o := shard.(*APsPerDay)
+	for key, set := range o.sets {
+		if cur, ok := a.sets[key]; ok {
+			for k := range set {
+				cur[k] = true
+			}
+		} else {
+			a.sets[key] = set
+		}
+	}
+}
+
 // APsPerDayResult summarizes association diversity.
 type APsPerDayResult struct {
 	// CountShares[rank][k] is the share of device-days associating with

@@ -41,6 +41,24 @@ func (ba *Battery) Add(s *trace.Sample) {
 	}
 }
 
+// NewShard implements ShardedAnalyzer.
+func (ba *Battery) NewShard() Analyzer { return NewBattery(ba.meta) }
+
+// Merge implements ShardedAnalyzer.
+func (ba *Battery) Merge(shard Analyzer) {
+	o := shard.(*Battery)
+	for h := 0; h < 24; h++ {
+		ba.sumByHour[h] += o.sumByHour[h]
+		ba.countByHour[h] += o.countByHour[h]
+	}
+	ba.assocSum += o.assocSum
+	ba.assocN += o.assocN
+	ba.cellSum += o.cellSum
+	ba.cellN += o.cellN
+	ba.lowBattery += o.lowBattery
+	ba.total += o.total
+}
+
 // BatteryResult holds the battery telemetry summary.
 type BatteryResult struct {
 	// MeanByHour is the mean battery level per local hour (overnight

@@ -87,6 +87,10 @@ func (p *Prep) CapEffectWithThreshold(thresholdBytes uint64) CapEffectResult {
 			}
 		}
 	}
+	// Ratios accumulate in per-device map order; sort so the raw slices
+	// (consumed only as distributions) are deterministic.
+	sort.Float64s(r.CappedRatios)
+	sort.Float64s(r.OtherRatios)
 	r.CDFCapped = stats.CDF(r.CappedRatios)
 	r.CDFOther = stats.CDF(r.OtherRatios)
 	if len(perDev) > 0 {

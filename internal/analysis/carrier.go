@@ -25,6 +25,20 @@ func (cr *CarrierRatios) Add(s *trace.Sample) {
 	}
 }
 
+// NewShard implements ShardedAnalyzer.
+func (cr *CarrierRatios) NewShard() Analyzer { return NewCarrierRatios() }
+
+// Merge implements ShardedAnalyzer.
+func (cr *CarrierRatios) Merge(shard Analyzer) {
+	o := shard.(*CarrierRatios)
+	for os := 0; os < 2; os++ {
+		for c := 0; c < 3; c++ {
+			cr.assoc[os][c] += o.assoc[os][c]
+			cr.total[os][c] += o.total[os][c]
+		}
+	}
+}
+
 // CarrierRatiosResult holds per-OS, per-carrier WiFi-user ratios.
 type CarrierRatiosResult struct {
 	// Ratio[os][carrier] is the share of that slice's intervals spent

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"sort"
+
 	"smartusage/internal/stats"
 	"smartusage/internal/trace"
 )
@@ -61,6 +63,21 @@ func (a *AssocDuration) close(run *assocRun) {
 	a.durations[class] = append(a.durations[class], hours)
 }
 
+// NewShard implements ShardedAnalyzer.
+func (a *AssocDuration) NewShard() Analyzer { return NewAssocDuration(a.meta, a.prep) }
+
+// Merge implements ShardedAnalyzer. Shards are device-disjoint, so open
+// runs transfer without clashing.
+func (a *AssocDuration) Merge(shard Analyzer) {
+	o := shard.(*AssocDuration)
+	for dev, run := range o.cur {
+		a.cur[dev] = run
+	}
+	for c := range o.durations {
+		a.durations[c] = append(a.durations[c], o.durations[c]...)
+	}
+}
+
 // AssocDurationResult holds the per-class duration samples and CCDFs.
 type AssocDurationResult struct {
 	// Hours[class] are the raw run durations.
@@ -80,6 +97,9 @@ func (a *AssocDuration) Result() AssocDurationResult {
 	}
 	var r AssocDurationResult
 	for c := APClass(0); c < NumAPClasses; c++ {
+		// Runs close in map-iteration and shard order; sorting makes the
+		// raw slices independent of both.
+		sort.Float64s(a.durations[c])
 		r.Hours[c] = a.durations[c]
 		r.CCDF[c] = stats.CCDF(a.durations[c])
 		r.P90Hours[c] = stats.Quantile(a.durations[c], 0.90)

@@ -34,6 +34,21 @@ func (l *LocationTraffic) Add(s *trace.Sample) {
 	l.tot[class] += float64(s.WiFiRX + s.WiFiTX)
 }
 
+// NewShard implements ShardedAnalyzer.
+func (l *LocationTraffic) NewShard() Analyzer { return NewLocationTraffic(l.meta, l.prep) }
+
+// Merge implements ShardedAnalyzer.
+func (l *LocationTraffic) Merge(shard Analyzer) {
+	o := shard.(*LocationTraffic)
+	for c := APClass(0); c < NumAPClasses; c++ {
+		for h := 0; h < 168; h++ {
+			l.rx[c][h] += o.rx[c][h]
+			l.tx[c][h] += o.tx[c][h]
+		}
+		l.tot[c] += o.tot[c]
+	}
+}
+
 // LocationTrafficResult holds the Fig. 11 curves and volume shares.
 type LocationTrafficResult struct {
 	// RXMbps/TXMbps index by [APClass][hourOfWeek].

@@ -73,6 +73,13 @@ type APStat struct {
 	AssocSamples  int
 	AssocBusiness int
 	MaxAssocRSSI  int8
+
+	// firstTime/firstDev identify the observation whose FirstCell (and
+	// Band/Channel) snapshot is kept: the minimum (time, device) one. The
+	// rule is evaluated identically whether samples arrive in stream order
+	// or shard-merged, keeping the prepass order-independent.
+	firstTime int64
+	firstDev  trace.DeviceID
 }
 
 // Prep is the derived per-dataset context shared by all analyzers.
@@ -130,10 +137,161 @@ const (
 // (the daily *median* is 50.7 MB, §3.7).
 const updateDetectBytes = 400 << 20
 
-// BuildPrep runs the first pass over src and derives all shared context.
-// updateRelease, when non-nil, enables iOS-update detection from that
-// instant (2015 campaign).
-func BuildPrep(meta Meta, src Source, updateRelease *time.Time) (*Prep, error) {
+// prepShard accumulates one device-partition's share of the first pass. The
+// sequential BuildPrep is a single shard; the parallel builders run one per
+// worker and fold them with finishPrep. All of its state is keyed (directly
+// or through UserDayKey) by device except aps, which finishPrep merges.
+type prepShard struct {
+	meta        Meta
+	releaseUnix int64
+	detect      bool // update detection enabled (2015 campaign)
+
+	devices    map[trace.DeviceID]trace.OS
+	aps        map[APKey]*APStat
+	userDays   map[UserDayKey]*UserDay
+	nights     map[UserDayKey]*nightAgg
+	assocPairs map[trace.DeviceID]map[APKey]bool
+}
+
+// newPrepShard returns an empty first-pass accumulator.
+func newPrepShard(meta Meta, updateRelease *time.Time) *prepShard {
+	ps := &prepShard{
+		meta:       meta,
+		devices:    make(map[trace.DeviceID]trace.OS),
+		aps:        make(map[APKey]*APStat),
+		userDays:   make(map[UserDayKey]*UserDay),
+		nights:     make(map[UserDayKey]*nightAgg),
+		assocPairs: make(map[trace.DeviceID]map[APKey]bool),
+	}
+	if updateRelease != nil {
+		ps.detect = true
+		ps.releaseUnix = updateRelease.Unix()
+	}
+	return ps
+}
+
+// add observes one sample.
+func (ps *prepShard) add(s *trace.Sample) error {
+	meta := ps.meta
+	ps.devices[s.Device] = s.OS
+	day := meta.Day(s.Time)
+	if day < 0 || day >= meta.Days {
+		return fmt.Errorf("analysis: sample at %d outside campaign window", s.Time)
+	}
+	key := UserDayKey{Device: s.Device, Day: day}
+
+	// Volumes (tethered intervals are excluded everywhere, §2).
+	if !s.Tethered {
+		ud := ps.userDays[key]
+		if ud == nil {
+			ud = &UserDay{Device: s.Device, OS: s.OS, Day: day}
+			ps.userDays[key] = ud
+		}
+		ud.CellRX += s.CellRX
+		ud.CellTX += s.CellTX
+		ud.WiFiRX += s.WiFiRX
+		ud.WiFiTX += s.WiFiTX
+		if s.RAT == trace.RATLTE {
+			ud.LTERX += s.CellRX
+		}
+	}
+
+	hour := meta.Hour(s.Time)
+	night := hour >= 22 || hour < 6
+	weekday := meta.Weekday(s.Time)
+	business := weekday && hour >= 10 && hour < 18
+
+	na := ps.nights[key]
+	if na == nil {
+		na = &nightAgg{pairBins: make(map[APKey]int), cellBins: make(map[geo.Cell]int)}
+		ps.nights[key] = na
+	}
+	if night {
+		na.cellBins[geo.Cell{CX: int(s.GeoCX), CY: int(s.GeoCY)}]++
+	}
+	if ps.detect && s.OS == trace.IOS && s.Time >= ps.releaseUnix &&
+		s.WiFiRX > na.maxWiFiBytes {
+		na.maxWiFiBytes = s.WiFiRX
+		na.maxWiFiTime = s.Time
+	}
+
+	// AP observations.
+	for i := range s.APs {
+		obs := &s.APs[i]
+		k := APKey{BSSID: obs.BSSID, ESSID: obs.ESSID}
+		st := ps.aps[k]
+		switch {
+		case st == nil:
+			st = &APStat{
+				Key: k, Band: obs.Band, Channel: obs.Channel,
+				FirstCell:    geo.Cell{CX: int(s.GeoCX), CY: int(s.GeoCY)},
+				MaxRSSI:      -128,
+				MaxAssocRSSI: -128,
+				firstTime:    s.Time,
+				firstDev:     s.Device,
+			}
+			ps.aps[k] = st
+		case s.Time < st.firstTime || (s.Time == st.firstTime && s.Device < st.firstDev):
+			// A strictly earlier (time, device) observation takes over the
+			// first-observation snapshot, so the result does not depend on
+			// arrival order.
+			st.firstTime, st.firstDev = s.Time, s.Device
+			st.FirstCell = geo.Cell{CX: int(s.GeoCX), CY: int(s.GeoCY)}
+			st.Band, st.Channel = obs.Band, obs.Channel
+		}
+		st.Detections++
+		if obs.RSSI > st.MaxRSSI {
+			st.MaxRSSI = obs.RSSI
+		}
+		if obs.Associated {
+			pairs := ps.assocPairs[s.Device]
+			if pairs == nil {
+				pairs = make(map[APKey]bool, 2)
+				ps.assocPairs[s.Device] = pairs
+			}
+			pairs[k] = true
+			st.AssocSamples++
+			if business {
+				st.AssocBusiness++
+			}
+			if obs.RSSI > st.MaxAssocRSSI {
+				st.MaxAssocRSSI = obs.RSSI
+			}
+			if night {
+				na.pairBins[k]++
+			}
+		}
+	}
+	return nil
+}
+
+// mergeAPStat folds one shard's statistics for pair k into dst.
+func mergeAPStat(dst map[APKey]*APStat, k APKey, src *APStat) {
+	st := dst[k]
+	if st == nil {
+		dst[k] = src
+		return
+	}
+	if src.firstTime < st.firstTime || (src.firstTime == st.firstTime && src.firstDev < st.firstDev) {
+		st.firstTime, st.firstDev = src.firstTime, src.firstDev
+		st.FirstCell = src.FirstCell
+		st.Band, st.Channel = src.Band, src.Channel
+	}
+	st.Detections += src.Detections
+	if src.MaxRSSI > st.MaxRSSI {
+		st.MaxRSSI = src.MaxRSSI
+	}
+	st.AssocSamples += src.AssocSamples
+	st.AssocBusiness += src.AssocBusiness
+	if src.MaxAssocRSSI > st.MaxAssocRSSI {
+		st.MaxAssocRSSI = src.MaxAssocRSSI
+	}
+}
+
+// finishPrep folds device-disjoint shards into one Prep and runs the
+// finalizers. Every map except aps is keyed by device, so the fold is a
+// disjoint union; aps entries for the same pair are merged field-wise.
+func finishPrep(meta Meta, updateRelease *time.Time, shards []*prepShard) *Prep {
 	p := &Prep{
 		Meta:       meta,
 		Devices:    make(map[trace.DeviceID]trace.OS),
@@ -146,104 +304,41 @@ func BuildPrep(meta Meta, src Source, updateRelease *time.Time) (*Prep, error) {
 		AssocPairs: make(map[trace.DeviceID]map[APKey]bool),
 	}
 	nights := make(map[UserDayKey]*nightAgg)
-	var releaseUnix int64
-	if updateRelease != nil {
-		releaseUnix = updateRelease.Unix()
-	}
-
-	err := src(func(s *trace.Sample) error {
-		p.Devices[s.Device] = s.OS
-		day := meta.Day(s.Time)
-		if day < 0 || day >= meta.Days {
-			return fmt.Errorf("analysis: sample at %d outside campaign window", s.Time)
+	for _, ps := range shards {
+		for dev, os := range ps.devices {
+			p.Devices[dev] = os
 		}
-		key := UserDayKey{Device: s.Device, Day: day}
-
-		// Volumes (tethered intervals are excluded everywhere, §2).
-		if !s.Tethered {
-			ud := p.UserDays[key]
-			if ud == nil {
-				ud = &UserDay{Device: s.Device, OS: s.OS, Day: day}
-				p.UserDays[key] = ud
-			}
-			ud.CellRX += s.CellRX
-			ud.CellTX += s.CellTX
-			ud.WiFiRX += s.WiFiRX
-			ud.WiFiTX += s.WiFiTX
-			if s.RAT == trace.RATLTE {
-				ud.LTERX += s.CellRX
-			}
+		for k, st := range ps.aps {
+			mergeAPStat(p.APs, k, st)
 		}
-
-		hour := meta.Hour(s.Time)
-		night := hour >= 22 || hour < 6
-		weekday := meta.Weekday(s.Time)
-		business := weekday && hour >= 10 && hour < 18
-
-		na := nights[key]
-		if na == nil {
-			na = &nightAgg{pairBins: make(map[APKey]int), cellBins: make(map[geo.Cell]int)}
+		for key, ud := range ps.userDays {
+			p.UserDays[key] = ud
+		}
+		for key, na := range ps.nights {
 			nights[key] = na
 		}
-		if night {
-			na.cellBins[geo.Cell{CX: int(s.GeoCX), CY: int(s.GeoCY)}]++
+		for dev, pairs := range ps.assocPairs {
+			p.AssocPairs[dev] = pairs
 		}
-		if updateRelease != nil && s.OS == trace.IOS && s.Time >= releaseUnix &&
-			s.WiFiRX > na.maxWiFiBytes {
-			na.maxWiFiBytes = s.WiFiRX
-			na.maxWiFiTime = s.Time
-		}
-
-		// AP observations.
-		for i := range s.APs {
-			obs := &s.APs[i]
-			k := APKey{BSSID: obs.BSSID, ESSID: obs.ESSID}
-			st := p.APs[k]
-			if st == nil {
-				st = &APStat{
-					Key: k, Band: obs.Band, Channel: obs.Channel,
-					FirstCell:    geo.Cell{CX: int(s.GeoCX), CY: int(s.GeoCY)},
-					MaxRSSI:      -128,
-					MaxAssocRSSI: -128,
-				}
-				p.APs[k] = st
-			}
-			st.Detections++
-			if obs.RSSI > st.MaxRSSI {
-				st.MaxRSSI = obs.RSSI
-			}
-			if obs.Associated {
-				pairs := p.AssocPairs[s.Device]
-				if pairs == nil {
-					pairs = make(map[APKey]bool, 2)
-					p.AssocPairs[s.Device] = pairs
-				}
-				pairs[k] = true
-				st.AssocSamples++
-				if business {
-					st.AssocBusiness++
-				}
-				if obs.RSSI > st.MaxAssocRSSI {
-					st.MaxAssocRSSI = obs.RSSI
-				}
-				if night {
-					na.pairBins[k]++
-				}
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-
 	p.inferHomes(nights)
 	p.classifyAPs()
 	if updateRelease != nil {
 		p.detectUpdates(nights, *updateRelease)
 	}
 	p.rankDays()
-	return p, nil
+	return p
+}
+
+// BuildPrep runs the first pass over src and derives all shared context.
+// updateRelease, when non-nil, enables iOS-update detection from that
+// instant (2015 campaign).
+func BuildPrep(meta Meta, src Source, updateRelease *time.Time) (*Prep, error) {
+	ps := newPrepShard(meta, updateRelease)
+	if err := src(ps.add); err != nil {
+		return nil, err
+	}
+	return finishPrep(meta, updateRelease, []*prepShard{ps}), nil
 }
 
 // inferHomes applies the night-time rule per device-day and picks each

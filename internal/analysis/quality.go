@@ -184,6 +184,38 @@ func (pa *PublicAvailability) Add(s *trace.Sample) {
 	}
 }
 
+// NewShard implements ShardedAnalyzer.
+func (pa *PublicAvailability) NewShard() Analyzer { return NewPublicAvailability(pa.prep) }
+
+// Merge implements ShardedAnalyzer. The per-interval slices concatenate in
+// shard order; every consumer of them (CCDFs, threshold counts) is
+// order-independent, so the result matches the sequential pass.
+func (pa *PublicAvailability) Merge(shard Analyzer) {
+	o := shard.(*PublicAvailability)
+	pa.n24All = append(pa.n24All, o.n24All...)
+	pa.n24Strong = append(pa.n24Strong, o.n24Strong...)
+	pa.n5All = append(pa.n5All, o.n5All...)
+	pa.n5Strong = append(pa.n5Strong, o.n5Strong...)
+	for dev, v := range o.offloadable {
+		pa.offloadable[dev] += v
+	}
+	for dev, v := range o.cellTotal {
+		pa.cellTotal[dev] += v
+	}
+	for dev, v := range o.availBins {
+		pa.availBins[dev] += v
+	}
+	for dev, v := range o.strongBins {
+		pa.strongBins[dev] += v
+	}
+	for dev := range o.dev5Any {
+		pa.dev5Any[dev] = true
+	}
+	for dev := range o.dev5Strong {
+		pa.dev5Strong[dev] = true
+	}
+}
+
 // PublicAvailabilityResult holds the Fig. 17 CCDFs and §3.5 estimates.
 type PublicAvailabilityResult struct {
 	CCDF24All    stats.Distribution

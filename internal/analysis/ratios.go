@@ -48,6 +48,22 @@ func (w *WiFiRatios) Add(s *trace.Sample) {
 	}
 }
 
+// NewShard implements ShardedAnalyzer.
+func (w *WiFiRatios) NewShard() Analyzer { return NewWiFiRatios(w.meta, w.prep) }
+
+// Merge implements ShardedAnalyzer.
+func (w *WiFiRatios) Merge(shard Analyzer) {
+	o := shard.(*WiFiRatios)
+	for b := 0; b < 3; b++ {
+		for h := 0; h < 168; h++ {
+			w.wifiRX[b][h] += o.wifiRX[b][h]
+			w.totalRX[b][h] += o.totalRX[b][h]
+			w.assoc[b][h] += o.assoc[b][h]
+			w.devices[b][h] += o.devices[b][h]
+		}
+	}
+}
+
 // RatioCurves holds one population slice's Fig. 6-8 curves.
 type RatioCurves struct {
 	// TrafficRatio[h] = WiFi RX / total RX in hour-of-week bin h.
@@ -131,6 +147,22 @@ func (is *InterfaceState) Add(s *trace.Sample) {
 	is.iosTotal[h]++
 	if s.WiFiState == trace.WiFiAssociated {
 		is.iosAssoc[h]++
+	}
+}
+
+// NewShard implements ShardedAnalyzer.
+func (is *InterfaceState) NewShard() Analyzer { return NewInterfaceState(is.meta) }
+
+// Merge implements ShardedAnalyzer.
+func (is *InterfaceState) Merge(shard Analyzer) {
+	o := shard.(*InterfaceState)
+	for h := 0; h < 168; h++ {
+		is.andAssoc[h] += o.andAssoc[h]
+		is.andOff[h] += o.andOff[h]
+		is.andOn[h] += o.andOn[h]
+		is.andTotal[h] += o.andTotal[h]
+		is.iosAssoc[h] += o.iosAssoc[h]
+		is.iosTotal[h] += o.iosTotal[h]
 	}
 }
 

@@ -1,0 +1,336 @@
+package analysis
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smartusage/internal/trace"
+)
+
+// This file implements the sharded parallel analysis engine. Both pipeline
+// passes admit a map-reduce shape: samples are partitioned by device (so all
+// state keyed per device stays shard-local), each shard accumulates
+// independently, and shard results are merged in fixed shard order.
+//
+// Determinism contract: given the same samples, the sharded pipeline
+// produces results identical to the sequential one, for any worker count.
+// This holds because (a) analyzer accumulations sum integer-valued floats
+// (byte counts, interval counts, battery levels), which float64 adds exactly
+// in any order; (b) merges always run in shard-index order on one goroutine;
+// (c) the few stream-order-dependent reductions (AP first-observation
+// snapshots, raw duration slices) use explicit deterministic rules instead
+// of arrival order.
+
+// ShardedAnalyzer is an Analyzer that can fan out over device-partitioned
+// shards and fold the shards back together.
+type ShardedAnalyzer interface {
+	Analyzer
+	// NewShard returns a fresh, empty analyzer of the same kind and
+	// configuration, safe to feed from another goroutine.
+	NewShard() Analyzer
+	// Merge folds a shard previously returned by NewShard into the
+	// receiver. Callers guarantee no two merged shards saw the same
+	// device, and always merge in fixed shard order.
+	Merge(shard Analyzer)
+}
+
+// shardOf maps a device to one of n shards. The device bits go through a
+// splitmix64-style finalizer first so that sequentially assigned IDs spread
+// evenly for every shard count.
+func shardOf(dev trace.DeviceID, n int) int {
+	x := uint64(dev)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(n))
+}
+
+// Shards holds a campaign's samples decoded once and partitioned by device,
+// so both pipeline passes can stream from memory without touching the codec
+// again.
+type Shards struct {
+	parts [][]trace.Sample
+}
+
+// NewShards returns an empty n-way partition (n < 1 is treated as 1).
+func NewShards(n int) *Shards {
+	if n < 1 {
+		n = 1
+	}
+	return &Shards{parts: make([][]trace.Sample, n)}
+}
+
+// Add routes one sample to its device's shard. The sample is deep-copied,
+// so Add is safe to use as a simulation sink or Source callback whose
+// *trace.Sample is reused. Not safe for concurrent use.
+func (sh *Shards) Add(s *trace.Sample) error {
+	w := shardOf(s.Device, len(sh.parts))
+	sh.parts[w] = append(sh.parts[w], *s.Clone())
+	return nil
+}
+
+// NumShards returns the partition width.
+func (sh *Shards) NumShards() int { return len(sh.parts) }
+
+// Len returns the total number of samples held.
+func (sh *Shards) Len() int {
+	n := 0
+	for _, part := range sh.parts {
+		n += len(part)
+	}
+	return n
+}
+
+// Source returns a restartable sequential stream replaying every shard in
+// shard order. Per-device sample order is preserved (each device lives in
+// exactly one shard, and shards keep arrival order).
+func (sh *Shards) Source() Source {
+	return func(fn func(*trace.Sample) error) error {
+		for _, part := range sh.parts {
+			for i := range part {
+				if err := fn(&part[i]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// ShardSamples decodes src exactly once into an n-way device partition.
+func ShardSamples(src Source, n int) (*Shards, error) {
+	sh := NewShards(n)
+	if err := src(sh.Add); err != nil {
+		return nil, err
+	}
+	return sh, nil
+}
+
+// Fan-out tuning: workers receive samples in batches to amortize channel
+// operations; a small backlog per worker keeps the decoder ahead without
+// holding much of the trace in flight.
+const (
+	fanOutBatch   = 512
+	fanOutBacklog = 4
+)
+
+// errFanOutStopped aborts the source pass after a worker failure.
+var errFanOutStopped = errors.New("analysis: fan-out stopped")
+
+// fanOut streams src once on the calling goroutine, cloning each sample and
+// routing it by device hash to one of n worker goroutines. work runs on a
+// dedicated goroutine per shard and sees that shard's samples in stream
+// order. The source error takes precedence; otherwise the lowest-index
+// worker error is returned.
+func fanOut(src Source, n int, work func(shard int, batch []trace.Sample) error) error {
+	chans := make([]chan []trace.Sample, n)
+	errs := make([]error, n)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		chans[w] = make(chan []trace.Sample, fanOutBacklog)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for batch := range chans[w] {
+				if errs[w] != nil {
+					continue // drain remaining batches after failure
+				}
+				if err := work(w, batch); err != nil {
+					errs[w] = err
+					stop.Store(true)
+				}
+			}
+		}(w)
+	}
+
+	batches := make([][]trace.Sample, n)
+	srcErr := src(func(s *trace.Sample) error {
+		if stop.Load() {
+			return errFanOutStopped
+		}
+		w := shardOf(s.Device, n)
+		batches[w] = append(batches[w], *s.Clone())
+		if len(batches[w]) >= fanOutBatch {
+			chans[w] <- batches[w]
+			batches[w] = nil
+		}
+		return nil
+	})
+	for w := 0; w < n; w++ {
+		if srcErr == nil && len(batches[w]) > 0 {
+			chans[w] <- batches[w]
+		}
+		close(chans[w])
+	}
+	wg.Wait()
+
+	if srcErr != nil && !errors.Is(srcErr, errFanOutStopped) {
+		return srcErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardAnalyzers clones every base analyzer n times via NewShard. ok is
+// false when any analyzer does not implement ShardedAnalyzer, in which case
+// callers fall back to the sequential path.
+func shardAnalyzers(base []Analyzer, n int) (perShard [][]Analyzer, ok bool) {
+	perShard = make([][]Analyzer, n)
+	for w := range perShard {
+		perShard[w] = make([]Analyzer, len(base))
+	}
+	for i, a := range base {
+		sa, isSharded := a.(ShardedAnalyzer)
+		if !isSharded {
+			return nil, false
+		}
+		for w := 0; w < n; w++ {
+			perShard[w][i] = sa.NewShard()
+		}
+	}
+	return perShard, true
+}
+
+// mergeShards folds per-shard analyzers back into the base set, always in
+// shard-index order so merge-order-sensitive state stays deterministic.
+func mergeShards(base []Analyzer, perShard [][]Analyzer) {
+	for i, a := range base {
+		sa := a.(ShardedAnalyzer)
+		for w := range perShard {
+			sa.Merge(perShard[w][i])
+		}
+	}
+}
+
+// RunParallel is Run distributed over workers goroutines: samples stream
+// from src once, fan out by device hash, and each worker applies the
+// cleaning rules and feeds its own analyzer shards, which are merged back
+// into cleaned and raw afterwards. workers <= 0 selects GOMAXPROCS. When
+// workers is 1 or any analyzer is not shardable, it degrades to the
+// sequential Run.
+func RunParallel(src Source, prep *Prep, cleaned []Analyzer, raw []Analyzer, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return Run(src, prep, cleaned, raw)
+	}
+	cleanedShards, okC := shardAnalyzers(cleaned, workers)
+	rawShards, okR := shardAnalyzers(raw, workers)
+	if !okC || !okR {
+		return Run(src, prep, cleaned, raw)
+	}
+	err := fanOut(src, workers, func(w int, batch []trace.Sample) error {
+		for i := range batch {
+			dispatch(&batch[i], prep, cleanedShards[w], rawShards[w])
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	mergeShards(cleaned, cleanedShards)
+	mergeShards(raw, rawShards)
+	return nil
+}
+
+// RunShards is the second pass over a pre-partitioned in-memory campaign:
+// one goroutine per shard, no decoding and no copying, merged in shard
+// order. It degrades to the sequential Run over sh.Source() when the
+// partition is single-shard or an analyzer is not shardable.
+func RunShards(sh *Shards, prep *Prep, cleaned []Analyzer, raw []Analyzer) error {
+	n := sh.NumShards()
+	if n == 1 {
+		return Run(sh.Source(), prep, cleaned, raw)
+	}
+	cleanedShards, okC := shardAnalyzers(cleaned, n)
+	rawShards, okR := shardAnalyzers(raw, n)
+	if !okC || !okR {
+		return Run(sh.Source(), prep, cleaned, raw)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := sh.parts[w]
+			for i := range part {
+				dispatch(&part[i], prep, cleanedShards[w], rawShards[w])
+			}
+		}(w)
+	}
+	wg.Wait()
+	mergeShards(cleaned, cleanedShards)
+	mergeShards(raw, rawShards)
+	return nil
+}
+
+// BuildPrepShards is the first pass over a pre-partitioned campaign: each
+// shard accumulates its own prepass state concurrently, then the shards are
+// folded and finalized exactly like the sequential BuildPrep.
+func BuildPrepShards(meta Meta, sh *Shards, updateRelease *time.Time) (*Prep, error) {
+	n := sh.NumShards()
+	shards := make([]*prepShard, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ps := newPrepShard(meta, updateRelease)
+			part := sh.parts[w]
+			for i := range part {
+				if err := ps.add(&part[i]); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			shards[w] = ps
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return finishPrep(meta, updateRelease, shards), nil
+}
+
+// BuildPrepParallel is BuildPrep distributed over workers goroutines fed by
+// a single streaming decode of src. workers <= 0 selects GOMAXPROCS;
+// workers == 1 degrades to the sequential BuildPrep.
+func BuildPrepParallel(meta Meta, src Source, updateRelease *time.Time, workers int) (*Prep, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return BuildPrep(meta, src, updateRelease)
+	}
+	shards := make([]*prepShard, workers)
+	for w := range shards {
+		shards[w] = newPrepShard(meta, updateRelease)
+	}
+	err := fanOut(src, workers, func(w int, batch []trace.Sample) error {
+		for i := range batch {
+			if err := shards[w].add(&batch[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finishPrep(meta, updateRelease, shards), nil
+}

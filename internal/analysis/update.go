@@ -49,6 +49,17 @@ func (u *UpdateTiming) Add(s *trace.Sample) {
 	}
 }
 
+// NewShard implements ShardedAnalyzer.
+func (u *UpdateTiming) NewShard() Analyzer { return NewUpdateTiming(u.meta, u.prep, u.release) }
+
+// Merge implements ShardedAnalyzer.
+func (u *UpdateTiming) Merge(shard Analyzer) {
+	o := shard.(*UpdateTiming)
+	for c := range u.viaClass {
+		u.viaClass[c] += o.viaClass[c]
+	}
+}
+
 // UpdateTimingResult holds the Fig. 18 curves and §3.7 summaries.
 type UpdateTimingResult struct {
 	TotalIOS    int

@@ -68,6 +68,11 @@ func (p *Prep) DailyVolumes() DailyVolumes {
 		v.ZeroCellFrac = float64(zeroCell) / float64(total)
 		v.ZeroWiFiFrac = float64(zeroWiFi) / float64(total)
 	}
+	// The samples accumulate in map-iteration order; sorting makes the
+	// slices (only ever consumed as distributions) deterministic.
+	for _, xs := range [][]float64{v.AllRX, v.AllTX, v.CellRX, v.CellTX, v.WiFiRX, v.WiFiTX} {
+		sort.Float64s(xs)
+	}
 	return v
 }
 
@@ -98,6 +103,11 @@ func (p *Prep) VolumeStats() VolumeStats {
 		cell = append(cell, MB(ud.CellRX))
 		wifi = append(wifi, MB(ud.WiFiRX))
 	}
+	// Fix the summation order of the means: map iteration would otherwise
+	// leave ULP-level noise between runs over identical prep content.
+	sort.Float64s(all)
+	sort.Float64s(cell)
+	sort.Float64s(wifi)
 	return VolumeStats{
 		Year:       p.Meta.Year,
 		MedianAll:  stats.Median(all),

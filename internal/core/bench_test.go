@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"smartusage/internal/analysis"
+	"smartusage/internal/config"
+	"smartusage/internal/core"
+	"smartusage/internal/trace"
+)
+
+// benchCampaign spools one small campaign trace to disk and returns its
+// configuration, a restartable file source, and the sample count.
+func benchCampaign(b *testing.B) (config.Campaign, analysis.Source, int) {
+	b.Helper()
+	dir := b.TempDir()
+	cfg, err := config.ForYear(2013, 0.05, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := core.RunWithConfig(cfg, core.Options{Scale: 0.05, Seed: 9, TraceDir: dir}); err != nil {
+		b.Fatal(err)
+	}
+	src := analysis.FileSource(filepath.Join(dir, "campaign-2013.trace"))
+	n := 0
+	if err := src(func(*trace.Sample) error { n++; return nil }); err != nil {
+		b.Fatal(err)
+	}
+	return cfg, src, n
+}
+
+// BenchmarkAnalyzeCampaignSequential is the baseline: two sequential passes
+// over the trace file, each decoding every sample.
+func BenchmarkAnalyzeCampaignSequential(b *testing.B) {
+	cfg, src, n := benchCampaign(b)
+	b.ResetTimer()
+	start := trace.DecodeCount()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AnalyzeCampaign(cfg, nil, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perRun := float64(trace.DecodeCount()-start) / float64(b.N) / float64(n)
+	b.ReportMetric(perRun, "decodes/sample")
+}
+
+// BenchmarkAnalyzeCampaignParallel shards both passes across GOMAXPROCS
+// workers and verifies the single-decode guarantee: exactly one decode per
+// sample per run, against the sequential path's two.
+func BenchmarkAnalyzeCampaignParallel(b *testing.B) {
+	cfg, src, n := benchCampaign(b)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2 // the single-decode shard path needs >= 2 workers
+	}
+	b.ResetTimer()
+	start := trace.DecodeCount()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AnalyzeCampaignParallel(cfg, nil, src, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	decodes := trace.DecodeCount() - start
+	if want := uint64(b.N) * uint64(n); decodes != want {
+		b.Fatalf("decoded %d samples over %d runs, want %d (one decode per sample)", decodes, b.N, want)
+	}
+	b.ReportMetric(float64(decodes)/float64(b.N)/float64(n), "decodes/sample")
+}

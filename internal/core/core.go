@@ -11,11 +11,12 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"time"
 
 	"smartusage/internal/analysis"
@@ -44,6 +45,10 @@ type Options struct {
 	// stream is identical regardless); 0 keeps it sequential, negative
 	// uses GOMAXPROCS.
 	Workers int
+	// AnalysisWorkers parallelizes the two analysis passes by sharding
+	// samples across goroutines by device (results are identical
+	// regardless); 0 keeps them sequential, negative uses GOMAXPROCS.
+	AnalysisWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +62,17 @@ func (o Options) withDefaults() Options {
 		o.Years = config.Years
 	}
 	return o
+}
+
+// analysisWorkers resolves AnalysisWorkers to a concrete shard count.
+func (o Options) analysisWorkers() int {
+	switch {
+	case o.AnalysisWorkers < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.AnalysisWorkers == 0:
+		return 1
+	}
+	return o.AnalysisWorkers
 }
 
 // CampaignRun bundles one campaign's configuration, generated world, and
@@ -106,103 +122,113 @@ func RunCampaign(year int, opts Options) (*CampaignRun, error) {
 // RunWithConfig simulates and analyzes a custom campaign configuration —
 // the entry point for what-if studies that perturb policies (see
 // examples/capsim).
+//
+// In-memory runs (no TraceDir) feed simulator output straight into
+// device-partitioned sample shards, so the analysis passes never touch the
+// trace codec. TraceDir runs spool the binary trace to disk and stream the
+// passes from the file, keeping memory bounded.
 func RunWithConfig(cfg config.Campaign, opts Options) (*CampaignRun, error) {
 	opts = opts.withDefaults()
 	sm, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	src, cleanup, err := runToSource(sm, opts)
-	if err != nil {
-		return nil, err
-	}
-	defer cleanup()
-	return AnalyzeCampaign(cfg, sm, src)
-}
-
-// runToSource executes the simulation once, spooling samples to memory or
-// disk, and returns a restartable Source over them.
-func runToSource(sm *sim.Simulator, opts Options) (analysis.Source, func(), error) {
 	runSim := func(sink sim.Sink) error {
 		if opts.Workers != 0 {
 			return sm.RunConcurrent(opts.Workers, sink)
 		}
 		return sm.Run(sink)
 	}
+	workers := opts.analysisWorkers()
 	if opts.TraceDir == "" {
-		var buf bytes.Buffer
-		w := trace.NewWriter(&buf)
-		if err := runSim(w.Write); err != nil {
-			return nil, nil, fmt.Errorf("core: simulate %d: %w", sm.Cfg.Year, err)
+		sh := analysis.NewShards(workers)
+		if err := runSim(sh.Add); err != nil {
+			return nil, fmt.Errorf("core: simulate %d: %w", cfg.Year, err)
 		}
-		if err := w.Flush(); err != nil {
-			return nil, nil, err
-		}
-		data := buf.Bytes()
-		src := func(fn func(*trace.Sample) error) error {
-			return trace.NewReader(bytes.NewReader(data)).ReadAll(fn)
-		}
-		return src, func() {}, nil
+		return AnalyzeCampaignShards(cfg, sm, sh)
 	}
-	if err := os.MkdirAll(opts.TraceDir, 0o755); err != nil {
-		return nil, nil, fmt.Errorf("core: trace dir: %w", err)
+	path, err := spoolTrace(sm, opts.TraceDir, runSim)
+	if err != nil {
+		return nil, err
 	}
-	path := filepath.Join(opts.TraceDir, fmt.Sprintf("campaign-%d.trace", sm.Cfg.Year))
+	src := analysis.FileSource(path)
+	if workers > 1 {
+		return analyzeCampaignStreaming(cfg, sm, src, workers)
+	}
+	return AnalyzeCampaign(cfg, sm, src)
+}
+
+// spoolTrace executes the simulation once, writing the binary trace under
+// dir, and returns the file path.
+func spoolTrace(sm *sim.Simulator, dir string, runSim func(sim.Sink) error) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("core: trace dir: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("campaign-%d.trace", sm.Cfg.Year))
 	f, err := os.Create(path)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: create trace: %w", err)
+		return "", fmt.Errorf("core: create trace: %w", err)
 	}
 	w := trace.NewWriter(f)
 	if err := runSim(w.Write); err != nil {
 		f.Close()
-		return nil, nil, fmt.Errorf("core: simulate %d: %w", sm.Cfg.Year, err)
+		return "", fmt.Errorf("core: simulate %d: %w", sm.Cfg.Year, err)
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
-		return nil, nil, err
+		return "", err
 	}
 	if err := f.Close(); err != nil {
-		return nil, nil, fmt.Errorf("core: close trace: %w", err)
+		return "", fmt.Errorf("core: close trace: %w", err)
 	}
-	return analysis.FileSource(path), func() {}, nil
+	return path, nil
 }
 
-// AnalyzeCampaign runs the two-pass analysis pipeline over an existing
-// sample source. sm may be nil when analyzing a trace without its world
-// (the survey is skipped in that case).
-func AnalyzeCampaign(cfg config.Campaign, sm *sim.Simulator, src analysis.Source) (*CampaignRun, error) {
-	meta := analysis.MetaFor(cfg)
-	var release *time.Time
-	if cfg.Update != nil {
-		release = &cfg.Update.Release
-	}
-	prep, err := analysis.BuildPrep(meta, src, release)
-	if err != nil {
-		return nil, fmt.Errorf("core: prepass %d: %w", cfg.Year, err)
-	}
+// analyzerSet is the second-pass analyzer battery of one campaign.
+type analyzerSet struct {
+	agg          *analysis.Aggregate
+	ratios       *analysis.WiFiRatios
+	ifstate      *analysis.InterfaceState
+	location     *analysis.LocationTraffic
+	apsPerDay    *analysis.APsPerDay
+	durations    *analysis.AssocDuration
+	publicAvail  *analysis.PublicAvailability
+	appBreak     *analysis.AppBreakdown
+	battery      *analysis.Battery
+	carriers     *analysis.CarrierRatios
+	updateTiming *analysis.UpdateTiming
 
-	agg := analysis.NewAggregate(meta)
-	ratios := analysis.NewWiFiRatios(meta, prep)
-	ifstate := analysis.NewInterfaceState(meta)
-	location := analysis.NewLocationTraffic(meta, prep)
-	apsPerDay := analysis.NewAPsPerDay(meta, prep)
-	durations := analysis.NewAssocDuration(meta, prep)
-	publicAvail := analysis.NewPublicAvailability(prep)
-	appBreak := analysis.NewAppBreakdown(meta, prep)
-	battery := analysis.NewBattery(meta)
-	carriers := analysis.NewCarrierRatios()
+	cleaned []analysis.Analyzer
+	raw     []analysis.Analyzer
+}
 
-	cleaned := []analysis.Analyzer{agg, ratios, ifstate, location, apsPerDay, durations, publicAvail, appBreak, battery, carriers}
-	var raw []analysis.Analyzer
-	var updateTiming *analysis.UpdateTiming
+func newAnalyzerSet(meta analysis.Meta, prep *analysis.Prep, release *time.Time) *analyzerSet {
+	set := &analyzerSet{
+		agg:         analysis.NewAggregate(meta),
+		ratios:      analysis.NewWiFiRatios(meta, prep),
+		ifstate:     analysis.NewInterfaceState(meta),
+		location:    analysis.NewLocationTraffic(meta, prep),
+		apsPerDay:   analysis.NewAPsPerDay(meta, prep),
+		durations:   analysis.NewAssocDuration(meta, prep),
+		publicAvail: analysis.NewPublicAvailability(prep),
+		appBreak:    analysis.NewAppBreakdown(meta, prep),
+		battery:     analysis.NewBattery(meta),
+		carriers:    analysis.NewCarrierRatios(),
+	}
+	set.cleaned = []analysis.Analyzer{
+		set.agg, set.ratios, set.ifstate, set.location, set.apsPerDay,
+		set.durations, set.publicAvail, set.appBreak, set.battery, set.carriers,
+	}
 	if release != nil {
-		updateTiming = analysis.NewUpdateTiming(meta, prep, *release)
-		raw = append(raw, updateTiming)
+		set.updateTiming = analysis.NewUpdateTiming(meta, prep, *release)
+		set.raw = append(set.raw, set.updateTiming)
 	}
-	if err := analysis.Run(src, prep, cleaned, raw); err != nil {
-		return nil, fmt.Errorf("core: analysis pass %d: %w", cfg.Year, err)
-	}
+	return set
+}
 
+// assembleRun finalizes every analyzer and prep-derived experiment into a
+// CampaignRun, conducting the survey when the world is available.
+func assembleRun(cfg config.Campaign, sm *sim.Simulator, prep *analysis.Prep, set *analyzerSet) (*CampaignRun, error) {
 	run := &CampaignRun{
 		Cfg:         cfg,
 		Sim:         sm,
@@ -211,26 +237,26 @@ func AnalyzeCampaign(cfg config.Campaign, sm *sim.Simulator, src analysis.Source
 		Volumes:     prep.DailyVolumes(),
 		VolumeStats: prep.VolumeStats(),
 		UserTypes:   prep.UserTypes(),
-		Aggregate:   agg.Result(),
-		Ratios:      ratios.Result(),
-		IfaceState:  ifstate.Result(),
+		Aggregate:   set.agg.Result(),
+		Ratios:      set.ratios.Result(),
+		IfaceState:  set.ifstate.Result(),
 		Census:      prep.APCensus(),
 		Density:     prep.APDensity(),
-		Location:    location.Result(),
-		APsPerDay:   apsPerDay.Result(),
-		Durations:   durations.Result(),
+		Location:    set.location.Result(),
+		APsPerDay:   set.apsPerDay.Result(),
+		Durations:   set.durations.Result(),
 		BandShare:   prep.BandShare(),
 		RSSI:        prep.RSSI(),
 		Channels:    prep.Channels(),
-		PublicAvail: publicAvail.Result(),
-		Apps:        appBreak.Result(),
+		PublicAvail: set.publicAvail.Result(),
+		Apps:        set.appBreak.Result(),
 		CapEffect:   prep.CapEffectWithThreshold(cfg.Cap.ThresholdBytes),
 		Interfere:   prep.Interference(),
-		Battery:     battery.Result(),
-		Carriers:    carriers.Result(),
+		Battery:     set.battery.Result(),
+		Carriers:    set.carriers.Result(),
 	}
-	if updateTiming != nil {
-		r := updateTiming.Result()
+	if set.updateTiming != nil {
+		r := set.updateTiming.Result()
 		run.Update = &r
 	}
 	if sm != nil {
@@ -244,22 +270,113 @@ func AnalyzeCampaign(cfg config.Campaign, sm *sim.Simulator, src analysis.Source
 	return run, nil
 }
 
+// updateRelease returns the campaign's OS-update release instant, if any.
+func updateRelease(cfg config.Campaign) *time.Time {
+	if cfg.Update != nil {
+		return &cfg.Update.Release
+	}
+	return nil
+}
+
+// AnalyzeCampaign runs the two-pass analysis pipeline sequentially over an
+// existing sample source. sm may be nil when analyzing a trace without its
+// world (the survey is skipped in that case).
+func AnalyzeCampaign(cfg config.Campaign, sm *sim.Simulator, src analysis.Source) (*CampaignRun, error) {
+	meta := analysis.MetaFor(cfg)
+	release := updateRelease(cfg)
+	prep, err := analysis.BuildPrep(meta, src, release)
+	if err != nil {
+		return nil, fmt.Errorf("core: prepass %d: %w", cfg.Year, err)
+	}
+	set := newAnalyzerSet(meta, prep, release)
+	if err := analysis.Run(src, prep, set.cleaned, set.raw); err != nil {
+		return nil, fmt.Errorf("core: analysis pass %d: %w", cfg.Year, err)
+	}
+	return assembleRun(cfg, sm, prep, set)
+}
+
+// AnalyzeCampaignParallel is AnalyzeCampaign with both passes sharded over
+// workers goroutines (<= 0 selects GOMAXPROCS). The source is decoded
+// exactly once — into device-partitioned in-memory shards that both passes
+// then stream from. Results are identical to the sequential path.
+func AnalyzeCampaignParallel(cfg config.Campaign, sm *sim.Simulator, src analysis.Source, workers int) (*CampaignRun, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return AnalyzeCampaign(cfg, sm, src)
+	}
+	sh, err := analysis.ShardSamples(src, workers)
+	if err != nil {
+		return nil, fmt.Errorf("core: shard %d: %w", cfg.Year, err)
+	}
+	return AnalyzeCampaignShards(cfg, sm, sh)
+}
+
+// AnalyzeCampaignShards runs the two-pass pipeline over pre-partitioned
+// in-memory shards, one goroutine per shard.
+func AnalyzeCampaignShards(cfg config.Campaign, sm *sim.Simulator, sh *analysis.Shards) (*CampaignRun, error) {
+	meta := analysis.MetaFor(cfg)
+	release := updateRelease(cfg)
+	prep, err := analysis.BuildPrepShards(meta, sh, release)
+	if err != nil {
+		return nil, fmt.Errorf("core: prepass %d: %w", cfg.Year, err)
+	}
+	set := newAnalyzerSet(meta, prep, release)
+	if err := analysis.RunShards(sh, prep, set.cleaned, set.raw); err != nil {
+		return nil, fmt.Errorf("core: analysis pass %d: %w", cfg.Year, err)
+	}
+	return assembleRun(cfg, sm, prep, set)
+}
+
+// analyzeCampaignStreaming runs both passes with the streaming fan-out: the
+// source is decoded once per pass on one goroutine while workers accumulate
+// shard-locally. Unlike AnalyzeCampaignParallel it never holds the whole
+// campaign in memory, which is why the TraceDir path uses it.
+func analyzeCampaignStreaming(cfg config.Campaign, sm *sim.Simulator, src analysis.Source, workers int) (*CampaignRun, error) {
+	meta := analysis.MetaFor(cfg)
+	release := updateRelease(cfg)
+	prep, err := analysis.BuildPrepParallel(meta, src, release, workers)
+	if err != nil {
+		return nil, fmt.Errorf("core: prepass %d: %w", cfg.Year, err)
+	}
+	set := newAnalyzerSet(meta, prep, release)
+	if err := analysis.RunParallel(src, prep, set.cleaned, set.raw, workers); err != nil {
+		return nil, fmt.Errorf("core: analysis pass %d: %w", cfg.Year, err)
+	}
+	return assembleRun(cfg, sm, prep, set)
+}
+
 // Study holds every campaign's results.
 type Study struct {
 	Opts Options
 	Runs map[int]*CampaignRun
 }
 
-// RunStudy runs all requested campaigns.
+// RunStudy runs all requested campaigns, each on its own goroutine
+// (campaign years are independent), and assembles the results in year
+// order. The first failing year's error (in Years order) is returned.
 func RunStudy(opts Options) (*Study, error) {
 	opts = opts.withDefaults()
-	st := &Study{Opts: opts, Runs: make(map[int]*CampaignRun, len(opts.Years))}
-	for _, year := range opts.Years {
-		run, err := RunCampaign(year, opts)
+	runs := make([]*CampaignRun, len(opts.Years))
+	errs := make([]error, len(opts.Years))
+	var wg sync.WaitGroup
+	for i, year := range opts.Years {
+		wg.Add(1)
+		go func(i, year int) {
+			defer wg.Done()
+			runs[i], errs[i] = RunCampaign(year, opts)
+		}(i, year)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		st.Runs[year] = run
+	}
+	st := &Study{Opts: opts, Runs: make(map[int]*CampaignRun, len(opts.Years))}
+	for i, year := range opts.Years {
+		st.Runs[year] = runs[i]
 	}
 	return st, nil
 }

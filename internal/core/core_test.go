@@ -4,6 +4,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -467,4 +468,50 @@ func TestSeedStability(t *testing.T) {
 	if d := a.Overview.WiFiShare - b.Overview.WiFiShare; d > 0.06 || d < -0.06 {
 		t.Errorf("WiFi share moved %.3f between seeds", d)
 	}
+}
+
+// compareRuns DeepEquals two CampaignRuns field by field (skipping the
+// simulator world, which holds rng state) so a mismatch names the
+// experiment that diverged instead of dumping two full runs.
+func compareRuns(t *testing.T, label string, want, got *core.CampaignRun) {
+	t.Helper()
+	vw, vg := reflect.ValueOf(*want), reflect.ValueOf(*got)
+	for i := 0; i < vw.NumField(); i++ {
+		name := vw.Type().Field(i).Name
+		if name == "Sim" {
+			continue
+		}
+		if !reflect.DeepEqual(vw.Field(i).Interface(), vg.Field(i).Interface()) {
+			t.Errorf("%s: field %s differs from sequential analysis", label, name)
+		}
+	}
+}
+
+// TestAnalysisWorkersEquivalence checks the tentpole determinism guarantee
+// end to end: a campaign analyzed with sharded workers — both the in-memory
+// shard path and the streaming trace-file path — produces a CampaignRun
+// identical to the sequential analysis, experiment by experiment. 2015 is
+// used so the update-timing (raw) analyzer runs too.
+func TestAnalysisWorkersEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence campaigns skipped in -short mode")
+	}
+	opts := core.Options{Scale: 0.05, Seed: 9}
+	seq, err := core.RunCampaign(2015, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.AnalysisWorkers = 4
+	par, err := core.RunCampaign(2015, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareRuns(t, "in-memory shards", seq, par)
+
+	opts.TraceDir = t.TempDir()
+	stream, err := core.RunCampaign(2015, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareRuns(t, "streaming fan-out", seq, stream)
 }

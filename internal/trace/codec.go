@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 )
 
 // Binary trace format
@@ -118,8 +119,19 @@ func DecodeSample(buf []byte, s *Sample) (int, error) {
 	if d.err != nil {
 		return 0, fmt.Errorf("trace: decode sample: %w", d.err)
 	}
+	decodeCount.Add(1)
 	return d.off, nil
 }
+
+// decodeCount counts every successful DecodeSample since process start. It
+// exists so benchmarks and tests can verify how many decode passes a
+// pipeline performs (the analysis engine promises a single decode per
+// campaign); it is not a correctness mechanism.
+var decodeCount atomic.Uint64
+
+// DecodeCount returns the cumulative number of samples decoded by
+// DecodeSample in this process.
+func DecodeCount() uint64 { return decodeCount.Load() }
 
 // decoder tracks an offset and a sticky error across field reads.
 type decoder struct {
