@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench check fmt-check bench-smoke report experiments clean
+.PHONY: all build vet test test-short bench check fmt-check bench-smoke fuzz-smoke chaos report experiments clean
 
 all: build vet test
 
@@ -29,10 +29,29 @@ fmt-check:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
-# The full CI gate: formatting, vet, race-enabled tests, benchmark smoke.
+# Short fuzz pass over every fuzz target: catches decoder panics and
+# round-trip regressions without a dedicated fuzzing farm.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	for t in FuzzDecodeSample FuzzUnmarshalJSONSample; do \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/trace || exit 1; \
+	done
+	for t in FuzzDecodeHello FuzzDecodeBatch FuzzReadFrame; do \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/proto || exit 1; \
+	done
+
+# Chaos soak: agents push batches through every fault mix under the race
+# detector, asserting exactly-once delivery end to end.
+chaos:
+	$(GO) test -race -run TestChaosSoak -count=1 ./internal/faultnet
+
+# The full CI gate: formatting, vet, race-enabled tests, benchmark smoke,
+# fuzz smoke, chaos soak.
 check: fmt-check vet
 	$(GO) test -race ./...
 	$(MAKE) bench-smoke
+	$(MAKE) fuzz-smoke
+	$(MAKE) chaos
 
 # Regenerate EXPERIMENTS.md at the reference scale.
 experiments:

@@ -5,22 +5,22 @@
 //
 // Run a collector first (cmd/collectd), then:
 //
-//	agentsim -server 127.0.0.1:7020 -year 2015 -scale 0.1 -failrate 0.05
+//	agentsim -server 127.0.0.1:7020 -year 2015 -scale 0.1 -faults dial=0.05,corrupt=0.01
 //
-// -failrate injects random dial failures to demonstrate the agent's offline
-// cache: every sample still arrives exactly once thanks to batch dedup.
+// -faults injects deterministic network failures (see faultnet.ParseSpec
+// for the spec grammar) to demonstrate the agent's retry/backoff policy and
+// offline cache: every sample still arrives exactly once thanks to frame
+// checksums, batch dedup, and the collector's resume bookkeeping.
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
-	"math/rand"
-	"net"
 	"time"
 
 	"smartusage/internal/agent"
 	"smartusage/internal/config"
+	"smartusage/internal/faultnet"
 	"smartusage/internal/sim"
 	"smartusage/internal/trace"
 )
@@ -29,12 +29,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("agentsim: ")
 	var (
-		server   = flag.String("server", "127.0.0.1:7020", "collector address")
-		year     = flag.Int("year", 2015, "campaign year")
-		scale    = flag.Float64("scale", 0.1, "panel scale")
-		seed     = flag.Int64("seed", 1, "random seed")
-		token    = flag.String("token", "", "auth token")
-		failrate = flag.Float64("failrate", 0, "probability of injected dial failure")
+		server     = flag.String("server", "127.0.0.1:7020", "collector address")
+		year       = flag.Int("year", 2015, "campaign year")
+		scale      = flag.Float64("scale", 0.1, "panel scale")
+		seed       = flag.Int64("seed", 1, "random seed")
+		token      = flag.String("token", "", "auth token")
+		failrate   = flag.Float64("failrate", 0, "probability of injected dial failure (shorthand for -faults dial=P)")
+		faults     = flag.String("faults", "", "fault spec, e.g. dial=0.1,reset=0.05,stall=0.02,ackloss=0.1,corrupt=0.01")
+		attempts   = flag.Int("attempts", 4, "upload attempts per batch within one flush")
+		backoff    = flag.Duration("backoff", 100*time.Millisecond, "initial retry backoff (doubles per attempt, jittered)")
+		maxBackoff = flag.Duration("max-backoff", 2*time.Second, "retry backoff cap")
 	)
 	flag.Parse()
 
@@ -47,13 +51,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	faultRNG := rand.New(rand.NewSource(*seed * 31))
-	dial := func(addr string, timeout time.Duration) (net.Conn, error) {
-		if *failrate > 0 && faultRNG.Float64() < *failrate {
-			return nil, fmt.Errorf("injected dial failure")
-		}
-		return net.DialTimeout("tcp", addr, timeout)
+	fcfg, err := faultnet.ParseSpec(*faults)
+	if err != nil {
+		log.Fatal(err)
 	}
+	if *failrate > 0 {
+		fcfg.DialRefuse = *failrate
+	}
+	fcfg.Seed = *seed * 31
+	inj := faultnet.New(fcfg)
+	dial := inj.Dial(nil)
 
 	agents := make(map[trace.DeviceID]*agent.Agent)
 	var recorded, flushErrs int
@@ -62,11 +69,14 @@ func main() {
 		if a == nil {
 			var err error
 			a, err = agent.New(agent.Config{
-				Server: *server,
-				Device: s.Device,
-				OS:     s.OS,
-				Token:  *token,
-				Dial:   dial,
+				Server:      *server,
+				Device:      s.Device,
+				OS:          s.OS,
+				Token:       *token,
+				MaxAttempts: *attempts,
+				Backoff:     *backoff,
+				MaxBackoff:  *maxBackoff,
+				Dial:        dial,
 			})
 			if err != nil {
 				return err
@@ -81,7 +91,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var uploaded, dropped int
+	var uploaded, dropped, retries int
 	for _, a := range agents {
 		if err := a.Close(); err != nil {
 			flushErrs++
@@ -89,7 +99,9 @@ func main() {
 		st := a.Stats()
 		uploaded += st.Uploaded
 		dropped += st.Dropped
+		retries += st.Retries
 	}
-	log.Printf("devices=%d recorded=%d uploaded=%d dropped=%d close-errors=%d",
-		len(agents), recorded, uploaded, dropped, flushErrs)
+	log.Printf("devices=%d recorded=%d uploaded=%d dropped=%d retries=%d close-errors=%d",
+		len(agents), recorded, uploaded, dropped, retries, flushErrs)
+	log.Printf("faults: %s", inj.Stats())
 }

@@ -15,8 +15,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"smartusage/internal/collector"
+	"smartusage/internal/proto"
 	"smartusage/internal/trace"
 )
 
@@ -24,11 +26,15 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("collectd: ")
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7020", "TCP listen address")
-		spool    = flag.String("spool", "collected.trace", "output trace file")
-		spoolDir = flag.String("spooldir", "", "rotate segments into this directory instead of -spool")
-		maxSeg   = flag.Int64("maxseg", 256<<20, "segment size budget for -spooldir (bytes)")
-		token    = flag.String("token", "", "shared auth token (empty disables auth)")
+		addr         = flag.String("addr", "127.0.0.1:7020", "TCP listen address")
+		spool        = flag.String("spool", "collected.trace", "output trace file")
+		spoolDir     = flag.String("spooldir", "", "rotate segments into this directory instead of -spool")
+		maxSeg       = flag.Int64("maxseg", 256<<20, "segment size budget for -spooldir (bytes)")
+		token        = flag.String("token", "", "shared auth token (empty disables auth)")
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "per-frame read deadline")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline")
+		maxFrame     = flag.Int("maxframe", proto.MaxFrameSize, "per-frame payload cap (bytes)")
+		maxConns     = flag.Int("maxconns", 256, "concurrent connection cap")
 	)
 	flag.Parse()
 
@@ -57,9 +63,13 @@ func main() {
 	}
 
 	srv, err := collector.New(collector.Config{
-		Addr:  *addr,
-		Token: *token,
-		Sink:  sink,
+		Addr:          *addr,
+		Token:         *token,
+		Sink:          sink,
+		ReadTimeout:   *readTimeout,
+		WriteTimeout:  *writeTimeout,
+		MaxFrameBytes: *maxFrame,
+		MaxConns:      *maxConns,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -82,7 +92,7 @@ func main() {
 		log.Fatal(err)
 	}
 	st := srv.Stats()
-	log.Printf("done: %d conns, %d batches (%d dup), %d samples, %d auth failures, %d errors",
-		st.Conns.Load(), st.Batches.Load(), st.DupBatches.Load(),
-		st.Samples.Load(), st.AuthFails.Load(), st.Errors.Load())
+	log.Printf("done: %d conns, %d devices, %d batches (%d dup), %d samples, %d auth failures, %d sink errors, %d errors",
+		st.Conns.Load(), st.Devices.Load(), st.Batches.Load(), st.DupBatches.Load(),
+		st.Samples.Load(), st.AuthFails.Load(), st.SinkErrs.Load(), st.Errors.Load())
 }

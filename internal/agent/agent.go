@@ -13,6 +13,7 @@ package agent
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -42,9 +43,22 @@ type Config struct {
 	DialTimeout time.Duration
 	IOTimeout   time.Duration
 
+	// MaxAttempts caps upload attempts per batch within one Flush call
+	// (default 3). Failures beyond the cap leave the batch cached for the
+	// next flush, preserving the paper's cache-and-retry semantics.
+	MaxAttempts int
+	// Backoff is the delay before the first retry; it doubles per attempt
+	// with ±50% jitter (seeded by Device, so a schedule is reproducible)
+	// and is capped at MaxBackoff (defaults 100 ms and 5 s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+
 	// Dial overrides the dialer, for tests and fault injection; nil uses
 	// net.DialTimeout.
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// Sleep overrides the wait between retries, for tests; nil uses
+	// time.Sleep.
+	Sleep func(time.Duration)
 }
 
 // Stats counts agent activity.
@@ -54,6 +68,7 @@ type Stats struct {
 	Dropped   int // cache overflow
 	Flushes   int
 	FlushErrs int
+	Retries   int // re-attempts within flushes, after backoff
 	Redials   int
 }
 
@@ -77,6 +92,8 @@ type Agent struct {
 	conn      net.Conn
 	pc        *proto.Conn
 	connected bool
+
+	rng *rand.Rand // backoff jitter
 }
 
 // New validates cfg and returns an Agent.
@@ -99,12 +116,27 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.IOTimeout == 0 {
 		cfg.IOTimeout = 10 * time.Second
 	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Backoff == 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff == 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
 	if cfg.Dial == nil {
 		cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, timeout)
 		}
 	}
-	return &Agent{cfg: cfg}, nil
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return &Agent{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(int64(cfg.Device) + 1)),
+	}, nil
 }
 
 // Stats returns a copy of the agent's counters.
@@ -146,8 +178,9 @@ func (a *Agent) Record(s *trace.Sample) {
 	}
 }
 
-// Flush uploads everything awaiting upload, batch by batch. On any failure
-// the current batch stays frozen in flight for the next attempt and the
+// Flush uploads everything awaiting upload, batch by batch, retrying each
+// batch up to MaxAttempts times with exponential backoff. On final failure
+// the current batch stays frozen in flight for the next Flush and the
 // connection is reset.
 func (a *Agent) Flush() error {
 	for {
@@ -161,15 +194,52 @@ func (a *Agent) Flush() error {
 			a.pending = nil
 		}
 		a.stats.Flushes++
-		if err := a.flushInflight(); err != nil {
+		if err := a.uploadWithRetry(); err != nil {
 			a.stats.FlushErrs++
-			a.resetConn()
 			return err
 		}
 		a.stats.Uploaded += len(a.inflight)
 		a.inflight = nil
 	}
 }
+
+// uploadWithRetry drives one frozen batch through up to MaxAttempts
+// transmissions. Transient failures (dial errors, resets, timeouts, lost
+// acks) are retried after a backoff; permanent failures — the server
+// explicitly rejected us, so resending identical bytes cannot succeed —
+// abort immediately.
+func (a *Agent) uploadWithRetry() error {
+	for attempt := 1; ; attempt++ {
+		err := a.flushInflight()
+		if err == nil {
+			return nil
+		}
+		a.resetConn()
+		var pe *permanentError
+		if errors.As(err, &pe) || attempt >= a.cfg.MaxAttempts {
+			return err
+		}
+		a.stats.Retries++
+		a.cfg.Sleep(a.backoff(attempt))
+	}
+}
+
+// backoff returns the jittered delay before retry number attempt (1-based):
+// Backoff doubled per attempt, capped at MaxBackoff, scaled by a random
+// factor in [0.5, 1.5) so synchronized agents decorrelate.
+func (a *Agent) backoff(attempt int) time.Duration {
+	d := a.cfg.Backoff << (attempt - 1)
+	if d <= 0 || d > a.cfg.MaxBackoff {
+		d = a.cfg.MaxBackoff
+	}
+	return time.Duration(float64(d) * (0.5 + a.rng.Float64()))
+}
+
+// permanentError marks a server-side rejection that no retry can cure.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
 
 func (a *Agent) flushInflight() error {
 	if err := a.ensureConn(); err != nil {
@@ -200,7 +270,7 @@ func (a *Agent) flushInflight() error {
 		if err := proto.DecodeErrorFrame(resp, &ef); err != nil {
 			return err
 		}
-		return fmt.Errorf("agent: server error: %s", ef.Message)
+		return &permanentError{fmt.Errorf("agent: server error: %s", ef.Message)}
 	default:
 		return fmt.Errorf("agent: unexpected frame %s", ft)
 	}
@@ -247,7 +317,7 @@ func (a *Agent) ensureConn() error {
 		if derr != nil {
 			return derr
 		}
-		return fmt.Errorf("agent: server rejected hello: %s", ef.Message)
+		return &permanentError{fmt.Errorf("agent: server rejected hello: %s", ef.Message)}
 	default:
 		conn.Close()
 		return fmt.Errorf("agent: unexpected frame %s", ft)

@@ -29,12 +29,22 @@ type Sink func(*trace.Sample) error
 type Config struct {
 	// Addr is the TCP listen address, e.g. "127.0.0.1:7020".
 	Addr string
+	// Listener, when non-nil, is used instead of listening on Addr — for
+	// tests and fault injection (e.g. a faultnet-wrapped listener).
+	Listener net.Listener
 	// Token authenticates agents; empty disables authentication.
 	Token string
 	// Sink receives accepted samples.
 	Sink Sink
 	// ReadTimeout bounds each frame read (default 30 s).
 	ReadTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 10 s), so a stalled
+	// or malicious peer that stops draining acks cannot pin a connection
+	// slot forever.
+	WriteTimeout time.Duration
+	// MaxFrameBytes caps one frame payload from a peer (default
+	// proto.MaxFrameSize); larger frames tear the connection down.
+	MaxFrameBytes int
 	// MaxConns caps concurrent connections (default 256).
 	MaxConns int
 	// Logf logs server events; nil uses log.Printf.
@@ -49,7 +59,31 @@ type Stats struct {
 	DupBatches  atomic.Int64
 	Samples     atomic.Int64
 	AuthFails   atomic.Int64
+	SinkErrs    atomic.Int64
 	Errors      atomic.Int64
+	Devices     atomic.Int64 // distinct devices that completed a hello
+}
+
+// DeviceStats is the per-device session bookkeeping kept by the server.
+type DeviceStats struct {
+	LastBatch uint64 // highest fully acked batch ID
+	Batches   int64  // batch frames received, duplicates included
+	Samples   int64  // samples accepted into the sink
+	Sessions  int64  // hello handshakes completed
+}
+
+// deviceState tracks one device under Server.mu. partialID/partialNext
+// record a batch whose sink failed midway, so an agent retry resumes at the
+// first unsinked sample instead of re-sinking the prefix: together with
+// batch dedup this keeps delivery exactly-once even across sink failures.
+type deviceState struct {
+	haveLast    bool
+	lastBatch   uint64
+	batches     int64
+	samples     int64
+	sessions    int64
+	partialID   uint64
+	partialNext int
 }
 
 // Server is the collection server. Create with New, start with Serve.
@@ -57,9 +91,9 @@ type Server struct {
 	cfg   Config
 	stats Stats
 
-	mu        sync.Mutex
-	sink      Sink
-	lastBatch map[trace.DeviceID]uint64 // highest acked batch per device
+	mu      sync.Mutex
+	sink    Sink
+	devices map[trace.DeviceID]*deviceState
 
 	sessionID atomic.Uint64
 
@@ -77,6 +111,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ReadTimeout == 0 {
 		cfg.ReadTimeout = 30 * time.Second
 	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.MaxFrameBytes == 0 {
+		cfg.MaxFrameBytes = proto.MaxFrameSize
+	}
 	if cfg.MaxConns == 0 {
 		cfg.MaxConns = 256
 	}
@@ -85,16 +125,33 @@ func New(cfg Config) (*Server, error) {
 		logf = log.Printf
 	}
 	return &Server{
-		cfg:       cfg,
-		sink:      cfg.Sink,
-		lastBatch: make(map[trace.DeviceID]uint64),
-		sem:       make(chan struct{}, cfg.MaxConns),
-		logf:      logf,
+		cfg:     cfg,
+		sink:    cfg.Sink,
+		devices: make(map[trace.DeviceID]*deviceState),
+		sem:     make(chan struct{}, cfg.MaxConns),
+		logf:    logf,
 	}, nil
 }
 
 // Stats exposes the server counters.
 func (s *Server) Stats() *Stats { return &s.stats }
+
+// Device returns the session bookkeeping for one device, and whether the
+// device has connected at all.
+func (s *Server) Device(dev trace.DeviceID) (DeviceStats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.devices[dev]
+	if !ok {
+		return DeviceStats{}, false
+	}
+	return DeviceStats{
+		LastBatch: st.lastBatch,
+		Batches:   st.batches,
+		Samples:   st.samples,
+		Sessions:  st.sessions,
+	}, true
+}
 
 // Addr returns the bound listen address once Serve has started.
 func (s *Server) Addr() net.Addr {
@@ -104,9 +161,14 @@ func (s *Server) Addr() net.Addr {
 	return s.lis.Addr()
 }
 
-// Listen binds the configured address. It is split from Serve so callers can
-// learn the bound port (Addr) before serving, e.g. with Addr ":0" in tests.
+// Listen binds the configured address (or adopts cfg.Listener when set).
+// It is split from Serve so callers can learn the bound port (Addr) before
+// serving, e.g. with Addr ":0" in tests.
 func (s *Server) Listen() error {
+	if s.cfg.Listener != nil {
+		s.lis = s.cfg.Listener
+		return nil
+	}
 	lis, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return fmt.Errorf("collector: listen %s: %w", s.cfg.Addr, err)
@@ -168,36 +230,44 @@ func (s *Server) Serve(ctx context.Context) error {
 	}
 }
 
-// handle drives one agent connection.
+// handle drives one agent connection. Every read and write carries its own
+// deadline: a peer that stalls in either direction is disconnected instead
+// of pinning a connection slot.
 func (s *Server) handle(ctx context.Context, nc net.Conn) error {
 	c := proto.NewConn(nc)
-	deadline := func() {
+	c.SetReadLimit(s.cfg.MaxFrameBytes)
+	rdeadline := func() {
 		nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 	}
+	wdeadline := func() {
+		nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
 
-	deadline()
+	rdeadline()
 	ft, payload, err := c.ReadFrame()
 	if err != nil {
 		return fmt.Errorf("read hello: %w", err)
 	}
 	if ft != proto.FrameHello {
-		return s.fail(c, "expected hello, got %s", ft)
+		return s.fail(nc, c, "expected hello, got %s", ft)
 	}
 	var hello proto.Hello
 	if err := proto.DecodeHello(payload, &hello); err != nil {
-		return s.fail(c, "bad hello: %v", err)
+		return s.fail(nc, c, "bad hello: %v", err)
 	}
 	if hello.Version != proto.Version {
-		return s.fail(c, "unsupported version %d", hello.Version)
+		return s.fail(nc, c, "unsupported version %d", hello.Version)
 	}
 	if !hello.OS.Valid() {
-		return s.fail(c, "invalid os %d", hello.OS)
+		return s.fail(nc, c, "invalid os %d", hello.OS)
 	}
 	if s.cfg.Token != "" && hello.Token != s.cfg.Token {
 		s.stats.AuthFails.Add(1)
-		return s.fail(c, "authentication failed")
+		return s.fail(nc, c, "authentication failed")
 	}
+	s.beginSession(hello.Device)
 	ack := proto.HelloAck{SessionID: s.sessionID.Add(1)}
+	wdeadline()
 	if err := c.WriteFrame(proto.FrameHelloAck, proto.AppendHelloAck(nil, &ack)); err != nil {
 		return err
 	}
@@ -208,7 +278,7 @@ func (s *Server) handle(ctx context.Context, nc net.Conn) error {
 		if ctx.Err() != nil {
 			return nil
 		}
-		deadline()
+		rdeadline()
 		ft, payload, err := c.ReadFrame()
 		if err != nil {
 			return fmt.Errorf("read frame: %w", err)
@@ -218,54 +288,110 @@ func (s *Server) handle(ctx context.Context, nc net.Conn) error {
 			return nil
 		case proto.FrameBatch:
 			if err := proto.DecodeBatch(payload, &batch); err != nil {
-				return s.fail(c, "bad batch: %v", err)
+				return s.fail(nc, c, "bad batch: %v", err)
 			}
 			accepted, err := s.accept(hello.Device, &batch)
 			if err != nil {
+				if errors.Is(err, errBadBatch) {
+					return s.fail(nc, c, "bad batch: %v", err)
+				}
 				return fmt.Errorf("sink: %w", err)
 			}
 			back := proto.BatchAck{BatchID: batch.BatchID, Accepted: accepted}
 			out = proto.AppendBatchAck(out[:0], &back)
+			wdeadline()
 			if err := c.WriteFrame(proto.FrameBatchAck, out); err != nil {
 				return err
 			}
 		default:
-			return s.fail(c, "unexpected frame %s", ft)
+			return s.fail(nc, c, "unexpected frame %s", ft)
 		}
 	}
 }
+
+// beginSession records a completed hello in the device bookkeeping.
+func (s *Server) beginSession(dev trace.DeviceID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.device(dev).sessions++
+}
+
+// device returns the state for dev, creating it under s.mu.
+func (s *Server) device(dev trace.DeviceID) *deviceState {
+	st := s.devices[dev]
+	if st == nil {
+		st = &deviceState{}
+		s.devices[dev] = st
+		s.stats.Devices.Add(1)
+	}
+	return st
+}
+
+// errBadBatch marks batches rejected by validation (as opposed to sink
+// failures); the peer gets an explicit error frame.
+var errBadBatch = errors.New("invalid batch")
 
 // accept deduplicates and spools a batch, returning how many samples were
 // newly accepted.
+//
+// The whole batch is validated before any sample reaches the sink: a
+// poisoned mid-batch sample must reject the batch atomically, because a
+// half-sinked batch is never acked and the agent's retry would re-sink the
+// already-spooled prefix, breaking exactly-once delivery. Sink failures
+// after validation record how far the batch got (deviceState.partialNext)
+// so the retry resumes exactly at the first unsinked sample.
 func (s *Server) accept(dev trace.DeviceID, b *proto.Batch) (uint32, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Batches.Add(1)
-	if last, ok := s.lastBatch[dev]; ok && b.BatchID <= last {
-		s.stats.DupBatches.Add(1)
-		return 0, nil
-	}
 	for i := range b.Samples {
 		sample := &b.Samples[i]
 		if sample.Device != dev {
-			return 0, fmt.Errorf("collector: batch sample device %s != session device %s", sample.Device, dev)
+			return 0, fmt.Errorf("%w: sample %d device %s != session device %s", errBadBatch, i, sample.Device, dev)
 		}
 		if err := sample.Validate(); err != nil {
-			return 0, err
+			return 0, fmt.Errorf("%w: sample %d: %v", errBadBatch, i, err)
 		}
-		if err := s.sink(sample); err != nil {
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Batches.Add(1)
+	st := s.device(dev)
+	st.batches++
+	if st.haveLast && b.BatchID <= st.lastBatch {
+		s.stats.DupBatches.Add(1)
+		return 0, nil
+	}
+	start := 0
+	if st.partialID == b.BatchID && st.partialNext > 0 {
+		// Resuming a batch whose sink failed midway; the agent resends the
+		// identical frozen batch, so skip the already-spooled prefix.
+		start = st.partialNext
+		if start > len(b.Samples) {
+			start = len(b.Samples)
+		}
+	}
+	for i := start; i < len(b.Samples); i++ {
+		if err := s.sink(&b.Samples[i]); err != nil {
+			st.partialID, st.partialNext = b.BatchID, i
+			st.samples += int64(i - start)
+			s.stats.Samples.Add(int64(i - start))
+			s.stats.SinkErrs.Add(1)
 			return 0, err
 		}
 	}
-	s.lastBatch[dev] = b.BatchID
-	s.stats.Samples.Add(int64(len(b.Samples)))
-	return uint32(len(b.Samples)), nil
+	st.haveLast, st.lastBatch = true, b.BatchID
+	st.partialID, st.partialNext = 0, 0
+	accepted := len(b.Samples) - start
+	st.samples += int64(accepted)
+	s.stats.Samples.Add(int64(accepted))
+	return uint32(accepted), nil
 }
 
-// fail sends an error frame then reports the failure to the caller.
-func (s *Server) fail(c *proto.Conn, format string, args ...any) error {
+// fail sends an error frame (under a write deadline) then reports the
+// failure to the caller.
+func (s *Server) fail(nc net.Conn, c *proto.Conn, format string, args ...any) error {
 	msg := fmt.Sprintf(format, args...)
 	ef := proto.ErrorFrame{Message: msg}
+	nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	_ = c.WriteFrame(proto.FrameError, proto.AppendErrorFrame(nil, &ef))
 	return errors.New("collector: " + msg)
 }

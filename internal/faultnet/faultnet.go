@@ -1,0 +1,410 @@
+// Package faultnet is a deterministic fault-injection layer for the upload
+// path: it wraps net.Conn, net.Listener, and the agent's Dial hook and
+// injects the failures a crowd-sourced measurement agent meets on real
+// cellular links — refused dials, mid-frame connection resets, partial
+// writes, read/write stalls that outlive the peer's deadline, ack loss
+// after the server already committed a batch, and in-flight byte
+// corruption.
+//
+// Every fault fires with a configurable per-operation probability drawn
+// from a single seeded rand.Rand, so a failure schedule is reproducible:
+// the same Config (including Seed) against the same traffic produces the
+// same faults. The chaos soak tests build on this to prove the agent ↔
+// collector pair delivers every sample exactly once under any mix of
+// faults (see soak_test.go and DESIGN.md "Fault model").
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets per-operation fault probabilities, each in [0, 1]. The zero
+// value injects nothing and wraps transparently.
+type Config struct {
+	// Seed seeds the deterministic fault schedule.
+	Seed int64
+
+	// DialRefuse makes Dial fail with ErrRefused.
+	DialRefuse float64
+	// ReadReset fails a Read with ErrReset before any byte is returned and
+	// kills the connection.
+	ReadReset float64
+	// WriteReset fails a Write with ErrReset before any byte is delivered
+	// and kills the connection.
+	WriteReset float64
+	// PartialWrite delivers a strict prefix of the buffer to the peer, then
+	// fails with ErrReset — the peer sees a truncated frame.
+	PartialWrite float64
+	// ReadStall and WriteStall block the operation until the connection
+	// deadline (or MaxStall when none is set) has passed, then fail with
+	// ErrStalled, a net.Error whose Timeout() is true.
+	ReadStall  float64
+	WriteStall float64
+	// AckLoss lets a Write reach the peer intact, then kills the connection
+	// so every later Read fails: the lost-ack window after a successful
+	// server-side commit.
+	AckLoss float64
+	// Corrupt flips one random bit of an otherwise successful Read or
+	// Write, leaving frame length intact — the classic undetected-by-TCP
+	// middlebox bit flip.
+	Corrupt float64
+
+	// MaxStall bounds a stall when the connection has no deadline set
+	// (default 1s).
+	MaxStall time.Duration
+}
+
+// Stats counts injected faults, one counter per fault type.
+type Stats struct {
+	DialRefusals  atomic.Int64
+	ReadResets    atomic.Int64
+	WriteResets   atomic.Int64
+	PartialWrites atomic.Int64
+	ReadStalls    atomic.Int64
+	WriteStalls   atomic.Int64
+	AckLosses     atomic.Int64
+	Corruptions   atomic.Int64
+}
+
+// Total sums all fault counters.
+func (s *Stats) Total() int64 {
+	return s.DialRefusals.Load() + s.ReadResets.Load() + s.WriteResets.Load() +
+		s.PartialWrites.Load() + s.ReadStalls.Load() + s.WriteStalls.Load() +
+		s.AckLosses.Load() + s.Corruptions.Load()
+}
+
+// String renders the non-zero counters, for log lines.
+func (s *Stats) String() string {
+	parts := []struct {
+		name string
+		n    int64
+	}{
+		{"dial-refusals", s.DialRefusals.Load()},
+		{"read-resets", s.ReadResets.Load()},
+		{"write-resets", s.WriteResets.Load()},
+		{"partial-writes", s.PartialWrites.Load()},
+		{"read-stalls", s.ReadStalls.Load()},
+		{"write-stalls", s.WriteStalls.Load()},
+		{"ack-losses", s.AckLosses.Load()},
+		{"corruptions", s.Corruptions.Load()},
+	}
+	var b strings.Builder
+	for _, p := range parts {
+		if p.n == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", p.name, p.n)
+	}
+	if b.Len() == 0 {
+		return "no faults injected"
+	}
+	return b.String()
+}
+
+// Injected errors.
+var (
+	ErrRefused = errors.New("faultnet: injected connection refused")
+	ErrReset   = errors.New("faultnet: injected connection reset")
+)
+
+// stallError is the timeout error a stalled operation returns.
+type stallError struct{}
+
+func (stallError) Error() string   { return "faultnet: injected stall timed out" }
+func (stallError) Timeout() bool   { return true }
+func (stallError) Temporary() bool { return true }
+
+// ErrStalled is returned by stalled reads and writes; it satisfies
+// net.Error with Timeout() == true, like a deadline expiry.
+var ErrStalled net.Error = stallError{}
+
+// Injector injects faults according to one Config and one seeded schedule.
+// It is safe for concurrent use by any number of wrapped connections.
+type Injector struct {
+	cfg   Config
+	stats Stats
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New returns an Injector for cfg.
+func New(cfg Config) *Injector {
+	if cfg.MaxStall <= 0 {
+		cfg.MaxStall = time.Second
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats exposes the fault counters.
+func (in *Injector) Stats() *Stats { return &in.stats }
+
+// roll draws one fault decision from the shared schedule.
+func (in *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64() < p
+}
+
+func (in *Injector) intn(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Intn(n)
+}
+
+// Dial wraps inner as an agent Config.Dial hook; nil inner dials TCP.
+func (in *Injector) Dial(inner func(addr string, timeout time.Duration) (net.Conn, error)) func(addr string, timeout time.Duration) (net.Conn, error) {
+	if inner == nil {
+		inner = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		if in.roll(in.cfg.DialRefuse) {
+			in.stats.DialRefusals.Add(1)
+			return nil, fmt.Errorf("faultnet: dial %s: %w", addr, ErrRefused)
+		}
+		c, err := inner(addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return in.Conn(c), nil
+	}
+}
+
+// Conn wraps c with fault injection.
+func (in *Injector) Conn(c net.Conn) net.Conn {
+	return &faultConn{Conn: c, in: in, closed: make(chan struct{})}
+}
+
+// Listener wraps l so every accepted connection injects faults — the
+// server-side counterpart of Dial.
+func (in *Injector) Listener(l net.Listener) net.Listener {
+	return &faultListener{Listener: l, in: in}
+}
+
+type faultListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Conn(c), nil
+}
+
+// faultConn injects faults around an inner net.Conn. Once a reset or ack
+// loss fires the connection is dead: every later operation returns the
+// same error, as a torn TCP connection would.
+type faultConn struct {
+	net.Conn
+	in *Injector
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	mu      sync.Mutex
+	readDL  time.Time
+	writeDL time.Time
+	dead    error
+}
+
+func (c *faultConn) fail() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// die marks the connection dead, keeping the first fatal error sticky.
+func (c *faultConn) die(err error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead == nil {
+		c.dead = err
+	}
+	return c.dead
+}
+
+func (c *faultConn) deadline(which *time.Time) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return *which
+}
+
+// stall blocks until the given deadline (or MaxStall when none is set) has
+// passed, mimicking a peer that stops draining, then reports a timeout.
+// Closing the connection unblocks the stall early.
+func (c *faultConn) stall(dl time.Time) error {
+	d := c.in.cfg.MaxStall
+	if !dl.IsZero() {
+		d = time.Until(dl) + 2*time.Millisecond
+	}
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-c.closed:
+		}
+	}
+	return ErrStalled
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if err := c.fail(); err != nil {
+		return 0, err
+	}
+	cfg := &c.in.cfg
+	switch {
+	case c.in.roll(cfg.ReadReset):
+		c.in.stats.ReadResets.Add(1)
+		return 0, c.die(ErrReset)
+	case c.in.roll(cfg.ReadStall):
+		c.in.stats.ReadStalls.Add(1)
+		return 0, c.stall(c.deadline(&c.readDL))
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.in.roll(cfg.Corrupt) {
+		c.in.stats.Corruptions.Add(1)
+		p[c.in.intn(n)] ^= 1 << uint(c.in.intn(8))
+	}
+	return n, err
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if err := c.fail(); err != nil {
+		return 0, err
+	}
+	cfg := &c.in.cfg
+	switch {
+	case c.in.roll(cfg.WriteReset):
+		c.in.stats.WriteResets.Add(1)
+		return 0, c.die(ErrReset)
+	case len(p) > 1 && c.in.roll(cfg.PartialWrite):
+		c.in.stats.PartialWrites.Add(1)
+		n := 1 + c.in.intn(len(p)-1)
+		c.Conn.Write(p[:n]) // the prefix really reaches the peer
+		return n, c.die(ErrReset)
+	case c.in.roll(cfg.WriteStall):
+		c.in.stats.WriteStalls.Add(1)
+		return 0, c.stall(c.deadline(&c.writeDL))
+	}
+	buf := p
+	if c.in.roll(cfg.Corrupt) {
+		c.in.stats.Corruptions.Add(1)
+		buf = append([]byte(nil), p...)
+		buf[c.in.intn(len(buf))] ^= 1 << uint(c.in.intn(8))
+	}
+	n, err := c.Conn.Write(buf)
+	if err == nil && n == len(p) && c.in.roll(cfg.AckLoss) {
+		c.in.stats.AckLosses.Add(1)
+		c.die(ErrReset) // bytes delivered; the response never arrives
+	}
+	return n, err
+}
+
+func (c *faultConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL, c.writeDL = t, t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *faultConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *faultConn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDL = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// ParseSpec parses a comma-separated list of name=probability pairs, e.g.
+// "dial=0.1,corrupt=0.02,stall=0.05", into a Config. Recognized names:
+//
+//	dial     refused dials
+//	rreset   read resets
+//	wreset   write resets
+//	reset    both reset directions
+//	partial  partial writes
+//	rstall   read stalls
+//	wstall   write stalls
+//	stall    both stall directions
+//	ackloss  ack loss after a delivered write
+//	corrupt  bit corruption
+//	all      every fault above
+//
+// The empty spec yields the zero Config. Seed and MaxStall are not part of
+// the spec; set them on the returned Config.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return Config{}, fmt.Errorf("faultnet: spec %q: want name=prob", field)
+		}
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil || p < 0 || p > 1 {
+			return Config{}, fmt.Errorf("faultnet: spec %q: probability must be in [0,1]", field)
+		}
+		switch name {
+		case "dial":
+			cfg.DialRefuse = p
+		case "rreset":
+			cfg.ReadReset = p
+		case "wreset":
+			cfg.WriteReset = p
+		case "reset":
+			cfg.ReadReset, cfg.WriteReset = p, p
+		case "partial":
+			cfg.PartialWrite = p
+		case "rstall":
+			cfg.ReadStall = p
+		case "wstall":
+			cfg.WriteStall = p
+		case "stall":
+			cfg.ReadStall, cfg.WriteStall = p, p
+		case "ackloss":
+			cfg.AckLoss = p
+		case "corrupt":
+			cfg.Corrupt = p
+		case "all":
+			cfg.DialRefuse, cfg.ReadReset, cfg.WriteReset = p, p, p
+			cfg.PartialWrite, cfg.ReadStall, cfg.WriteStall = p, p, p
+			cfg.AckLoss, cfg.Corrupt = p, p
+		default:
+			return Config{}, fmt.Errorf("faultnet: spec %q: unknown fault %q", field, name)
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,304 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns the two ends of an in-memory connection, the client end
+// wrapped by in.
+func pipePair(in *Injector) (wrapped, peer net.Conn) {
+	c1, c2 := net.Pipe()
+	return in.Conn(c1), c2
+}
+
+func TestZeroConfigIsTransparent(t *testing.T) {
+	in := New(Config{Seed: 1})
+	w, peer := pipePair(in)
+	defer w.Close()
+	defer peer.Close()
+
+	go func() {
+		peer.Write([]byte("pong"))
+	}()
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(w, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "pong" {
+		t.Fatalf("read %q", buf)
+	}
+	if in.Stats().Total() != 0 {
+		t.Fatalf("faults injected by zero config: %s", in.Stats())
+	}
+}
+
+func TestDialRefuse(t *testing.T) {
+	in := New(Config{Seed: 1, DialRefuse: 1})
+	dial := in.Dial(func(string, time.Duration) (net.Conn, error) {
+		t.Fatal("inner dialer reached despite certain refusal")
+		return nil, nil
+	})
+	if _, err := dial("example:1", time.Second); !errors.Is(err, ErrRefused) {
+		t.Fatalf("err = %v", err)
+	}
+	if in.Stats().DialRefusals.Load() != 1 {
+		t.Fatal("refusal not counted")
+	}
+}
+
+func TestResetIsSticky(t *testing.T) {
+	in := New(Config{Seed: 1, WriteReset: 1})
+	w, peer := pipePair(in)
+	defer peer.Close()
+	defer w.Close()
+
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("write err = %v", err)
+	}
+	// Dead in both directions, without touching the schedule again.
+	if _, err := w.Read(make([]byte, 1)); !errors.Is(err, ErrReset) {
+		t.Fatalf("read after reset = %v", err)
+	}
+	if _, err := w.Write([]byte("y")); !errors.Is(err, ErrReset) {
+		t.Fatalf("write after reset = %v", err)
+	}
+	if got := in.Stats().WriteResets.Load(); got != 1 {
+		t.Fatalf("write resets %d, want 1 (sticky, not re-rolled)", got)
+	}
+}
+
+func TestPartialWriteDeliversPrefix(t *testing.T) {
+	in := New(Config{Seed: 3, PartialWrite: 1})
+	w, peer := pipePair(in)
+	defer peer.Close()
+	defer w.Close()
+
+	msg := []byte("hello, collector")
+	var got []byte
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, len(msg))
+		n, _ := peer.Read(buf)
+		got = buf[:n]
+	}()
+	n, err := w.Write(msg)
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("err = %v", err)
+	}
+	if n <= 0 || n >= len(msg) {
+		t.Fatalf("partial write of %d bytes, want strict prefix", n)
+	}
+	<-done
+	if !bytes.Equal(got, msg[:n]) {
+		t.Fatalf("peer saw %q, want %q", got, msg[:n])
+	}
+}
+
+func TestStallRespectsDeadline(t *testing.T) {
+	in := New(Config{Seed: 1, ReadStall: 1, MaxStall: 10 * time.Second})
+	w, peer := pipePair(in)
+	defer peer.Close()
+	defer w.Close()
+
+	w.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err := w.Read(make([]byte, 1))
+	elapsed := time.Since(start)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if elapsed < 25*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("stall lasted %v, want ≈ deadline", elapsed)
+	}
+}
+
+func TestStallWithoutDeadlineUsesMaxStall(t *testing.T) {
+	in := New(Config{Seed: 1, WriteStall: 1, MaxStall: 20 * time.Millisecond})
+	w, peer := pipePair(in)
+	defer peer.Close()
+	defer w.Close()
+
+	start := time.Now()
+	_, err := w.Write([]byte("x"))
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("stall returned before MaxStall")
+	}
+}
+
+func TestCloseUnblocksStall(t *testing.T) {
+	in := New(Config{Seed: 1, ReadStall: 1, MaxStall: 10 * time.Second})
+	w, peer := pipePair(in)
+	defer peer.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stall not unblocked by Close")
+	}
+}
+
+func TestAckLossDeliversThenKills(t *testing.T) {
+	in := New(Config{Seed: 1, AckLoss: 1})
+	w, peer := pipePair(in)
+	defer peer.Close()
+	defer w.Close()
+
+	msg := []byte("batch")
+	got := make([]byte, len(msg))
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(peer, got)
+		done <- err
+	}()
+	n, err := w.Write(msg)
+	if n != len(msg) || err != nil {
+		t.Fatalf("write = %d, %v; the payload must be delivered intact", n, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("peer saw %q", got)
+	}
+	// ... but the response never arrives.
+	if _, err := w.Read(make([]byte, 1)); !errors.Is(err, ErrReset) {
+		t.Fatalf("read after ack loss = %v", err)
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	in := New(Config{Seed: 1, Corrupt: 1})
+	w, peer := pipePair(in)
+	defer peer.Close()
+	defer w.Close()
+
+	msg := []byte("0123456789")
+	got := make([]byte, len(msg))
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(peer, got)
+		done <- err
+	}()
+	if _, err := w.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range msg {
+		if b := msg[i] ^ got[i]; b != 0 {
+			diff++
+			if b&(b-1) != 0 {
+				t.Fatalf("byte %d differs by more than one bit (%08b)", i, b)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d corrupted bytes, want 1", diff)
+	}
+	if !bytes.Equal(msg, []byte("0123456789")) {
+		t.Fatal("caller's buffer was mutated by a write-side corruption")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []int64 {
+		in := New(Config{Seed: 42, ReadReset: 0.5, WriteReset: 0.5})
+		var events []int64
+		for i := 0; i < 64; i++ {
+			c1, c2 := net.Pipe()
+			w := in.Conn(c1)
+			go io.Copy(io.Discard, c2)
+			_, werr := w.Write([]byte("x"))
+			if werr != nil {
+				events = append(events, int64(i))
+			}
+			w.Close()
+			c2.Close()
+		}
+		events = append(events, in.Stats().WriteResets.Load())
+		return events
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("schedules differ in length: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("dial=0.1,reset=0.2,stall=0.05,ackloss=0.3,corrupt=0.01,partial=0.15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		DialRefuse: 0.1, ReadReset: 0.2, WriteReset: 0.2,
+		ReadStall: 0.05, WriteStall: 0.05, AckLoss: 0.3,
+		Corrupt: 0.01, PartialWrite: 0.15,
+	}
+	if cfg != want {
+		t.Fatalf("got %+v want %+v", cfg, want)
+	}
+	if cfg, err := ParseSpec("all=0.07"); err != nil || cfg.DialRefuse != 0.07 || cfg.Corrupt != 0.07 {
+		t.Fatalf("all=0.07: %+v, %v", cfg, err)
+	}
+	if cfg, err := ParseSpec(""); err != nil || cfg != (Config{}) {
+		t.Fatalf("empty spec: %+v, %v", cfg, err)
+	}
+	for _, bad := range []string{"dial", "dial=2", "dial=-1", "nope=0.1", "dial=x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	in := New(Config{Seed: 1, ReadReset: 1})
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis := in.Listener(inner)
+	defer lis.Close()
+
+	go func() {
+		c, err := net.Dial("tcp", lis.Addr().String())
+		if err == nil {
+			c.Write([]byte("x"))
+			c.Close()
+		}
+	}()
+	conn, err := lis.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Read(make([]byte, 1)); !errors.Is(err, ErrReset) {
+		t.Fatalf("accepted conn not fault-wrapped: %v", err)
+	}
+}

@@ -11,9 +11,14 @@
 //	server → client  BatchAck{batchID, accepted}       (one per batch)
 //	client → server  Bye                                (optional, clean close)
 //
-// Every frame is a one-byte type, a uvarint payload length, and the payload.
-// Batches are idempotent: the server deduplicates on (deviceID, batchID), so
-// an agent that times out waiting for an ack can safely resend.
+// Every frame is a one-byte type, a uvarint payload length, the payload,
+// and a big-endian CRC-32C of the type byte and payload. The checksum makes
+// in-flight corruption (which TCP's 16-bit checksum misses surprisingly
+// often on real cellular paths) a detected failure instead of silently
+// accepted garbage: a corrupted frame fails with ErrFrameChecksum, the
+// connection is torn down, and the agent's batch retry takes over. Batches
+// are idempotent: the server deduplicates on (deviceID, batchID), so an
+// agent that times out waiting for an ack can safely resend.
 package proto
 
 import (
@@ -21,6 +26,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"smartusage/internal/trace"
@@ -62,11 +68,19 @@ func (t FrameType) String() string {
 // fits comfortably.
 const MaxFrameSize = 4 << 20
 
-// Version is the protocol version carried in Hello.
-const Version = 1
+// Version is the protocol version carried in Hello. Version 2 added the
+// per-frame CRC-32C trailer.
+const Version = 2
 
 // ErrFrameTooLarge is returned when a peer announces an oversized frame.
 var ErrFrameTooLarge = errors.New("proto: frame exceeds size limit")
+
+// ErrFrameChecksum is returned when a frame fails its CRC, i.e. it was
+// corrupted in flight.
+var ErrFrameChecksum = errors.New("proto: frame checksum mismatch")
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on amd64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Hello is the client's opening frame.
 type Hello struct {
@@ -106,6 +120,7 @@ type Conn struct {
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	scratch []byte
+	limit   int // per-frame read cap; 0 means MaxFrameSize
 }
 
 // NewConn wraps rw (typically a *net.TCPConn).
@@ -114,6 +129,22 @@ func NewConn(rw io.ReadWriter) *Conn {
 		br: bufio.NewReaderSize(rw, 64<<10),
 		bw: bufio.NewWriterSize(rw, 64<<10),
 	}
+}
+
+// SetReadLimit caps the payload size ReadFrame accepts, below the
+// protocol-wide MaxFrameSize; n <= 0 restores the default. Servers use it
+// to bound per-connection memory against oversized batches.
+func (c *Conn) SetReadLimit(n int) {
+	if n <= 0 || n > MaxFrameSize {
+		n = MaxFrameSize
+	}
+	c.limit = n
+}
+
+// frameCRC covers the type byte and payload.
+func frameCRC(t FrameType, payload []byte) uint32 {
+	sum := crc32.Update(0, crcTable, []byte{byte(t)})
+	return crc32.Update(sum, crcTable, payload)
 }
 
 // WriteFrame sends one frame and flushes it.
@@ -132,6 +163,11 @@ func (c *Conn) WriteFrame(t FrameType, payload []byte) error {
 	if _, err := c.bw.Write(payload); err != nil {
 		return fmt.Errorf("proto: write payload: %w", err)
 	}
+	var crcBuf [4]byte
+	binary.BigEndian.PutUint32(crcBuf[:], frameCRC(t, payload))
+	if _, err := c.bw.Write(crcBuf[:]); err != nil {
+		return fmt.Errorf("proto: write checksum: %w", err)
+	}
 	if err := c.bw.Flush(); err != nil {
 		return fmt.Errorf("proto: flush: %w", err)
 	}
@@ -149,17 +185,25 @@ func (c *Conn) ReadFrame() (FrameType, []byte, error) {
 	if err != nil {
 		return 0, nil, fmt.Errorf("proto: read length: %w", err)
 	}
-	if size > MaxFrameSize {
+	limit := c.limit
+	if limit == 0 {
+		limit = MaxFrameSize
+	}
+	if size > uint64(limit) {
 		return 0, nil, ErrFrameTooLarge
 	}
-	if cap(c.scratch) < int(size) {
-		c.scratch = make([]byte, size)
+	if cap(c.scratch) < int(size)+4 {
+		c.scratch = make([]byte, size+4)
 	}
-	c.scratch = c.scratch[:size]
+	c.scratch = c.scratch[:size+4]
 	if _, err := io.ReadFull(c.br, c.scratch); err != nil {
 		return 0, nil, fmt.Errorf("proto: read payload: %w", err)
 	}
-	return FrameType(tb), c.scratch, nil
+	payload := c.scratch[:size]
+	if binary.BigEndian.Uint32(c.scratch[size:]) != frameCRC(FrameType(tb), payload) {
+		return 0, nil, ErrFrameChecksum
+	}
+	return FrameType(tb), payload, nil
 }
 
 // --- payload codecs ---------------------------------------------------------
