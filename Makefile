@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench check fmt-check bench-smoke fuzz-smoke chaos report experiments clean
+.PHONY: all build vet test test-short bench check fmt-check bench-smoke fuzz-smoke chaos crash report experiments clean
 
 all: build vet test
 
@@ -39,19 +39,28 @@ fuzz-smoke:
 	for t in FuzzDecodeHello FuzzDecodeBatch FuzzReadFrame; do \
 		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/proto || exit 1; \
 	done
+	$(GO) test -run '^$$' -fuzz '^FuzzReadWALRecord$$' -fuzztime $(FUZZTIME) ./internal/wal
 
 # Chaos soak: agents push batches through every fault mix under the race
 # detector, asserting exactly-once delivery end to end.
 chaos:
 	$(GO) test -race -run TestChaosSoak -count=1 ./internal/faultnet
 
+# Kill-restart soak: the collector is crashed at every durability crash
+# point (torn WAL append, pre-fsync, pre-sink, pre-ack) and cold-started
+# from its WAL, agents are killed and rebuilt from their disk spools, and
+# exactly-once delivery is asserted across the restarts, under -race.
+crash:
+	$(GO) test -race -run TestCrashRestartSoak -count=1 ./internal/faultnet
+
 # The full CI gate: formatting, vet, race-enabled tests, benchmark smoke,
-# fuzz smoke, chaos soak.
+# fuzz smoke, chaos + kill-restart soaks.
 check: fmt-check vet
 	$(GO) test -race ./...
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) chaos
+	$(MAKE) crash
 
 # Regenerate EXPERIMENTS.md at the reference scale.
 experiments:

@@ -14,8 +14,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"time"
 
 	"smartusage/internal/agent"
@@ -39,6 +43,7 @@ func main() {
 		attempts   = flag.Int("attempts", 4, "upload attempts per batch within one flush")
 		backoff    = flag.Duration("backoff", 100*time.Millisecond, "initial retry backoff (doubles per attempt, jittered)")
 		maxBackoff = flag.Duration("max-backoff", 2*time.Second, "retry backoff cap")
+		spoolDir   = flag.String("spool-dir", "", "journal each agent's upload queue under this directory (one subdir per device); a re-run resumes abandoned samples")
 	)
 	flag.Parse()
 
@@ -68,7 +73,7 @@ func main() {
 		a := agents[s.Device]
 		if a == nil {
 			var err error
-			a, err = agent.New(agent.Config{
+			acfg := agent.Config{
 				Server:      *server,
 				Device:      s.Device,
 				OS:          s.OS,
@@ -77,7 +82,11 @@ func main() {
 				Backoff:     *backoff,
 				MaxBackoff:  *maxBackoff,
 				Dial:        dial,
-			})
+			}
+			if *spoolDir != "" {
+				acfg.SpoolDir = filepath.Join(*spoolDir, s.Device.String())
+			}
+			a, err = agent.New(acfg)
 			if err != nil {
 				return err
 			}
@@ -91,17 +100,30 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var uploaded, dropped, retries int
+	var uploaded, dropped, retries, resumed, abandoned int
 	for _, a := range agents {
 		if err := a.Close(); err != nil {
 			flushErrs++
+			var ae *agent.AbandonedError
+			if errors.As(err, &ae) {
+				abandoned += ae.Count
+			}
 		}
 		st := a.Stats()
 		uploaded += st.Uploaded
 		dropped += st.Dropped
 		retries += st.Retries
+		resumed += st.Resumed
 	}
-	log.Printf("devices=%d recorded=%d uploaded=%d dropped=%d retries=%d close-errors=%d",
-		len(agents), recorded, uploaded, dropped, retries, flushErrs)
+	log.Printf("devices=%d recorded=%d resumed=%d uploaded=%d dropped=%d retries=%d close-errors=%d abandoned=%d",
+		len(agents), recorded, resumed, uploaded, dropped, retries, flushErrs, abandoned)
 	log.Printf("faults: %s", inj.Stats())
+	if abandoned > 0 {
+		fate := "lost"
+		if *spoolDir != "" {
+			fate = fmt.Sprintf("retained under %s; re-run to resume", *spoolDir)
+		}
+		log.Printf("exit 1: %d samples abandoned (%s)", abandoned, fate)
+		os.Exit(1)
+	}
 }

@@ -1,11 +1,23 @@
 // Command collectd runs the central collection server: it accepts
 // measurement-agent connections and spools accepted samples to a binary
-// trace file. Stop it with SIGINT/SIGTERM for a graceful shutdown (the
-// spool is flushed before exit).
+// trace file. Stop it with SIGINT/SIGTERM for a graceful shutdown — the
+// server drains in-flight connections (bounded by -drain-timeout), flushes
+// the spool, cuts a final WAL checkpoint, and logs a stats summary. If the
+// drain deadline expires with connections still active, collectd exits
+// non-zero.
+//
+// With -wal-dir set, collection is crash-safe: every accepted batch is
+// written (and fsynced per -fsync) to a write-ahead log before it is sinked
+// or acked, periodic checkpoints bound the log, and a restart replays the
+// log — rebuilding per-device dedup state and any samples the spool had not
+// yet made durable — so `kill -9` loses nothing that was acked and
+// double-sinks nothing on agent retry. WAL mode requires the rotating
+// -spool-dir sink (checkpoints align with sealed spool segments).
 //
 // Usage:
 //
 //	collectd -addr :7020 -spool collected.trace -token s3cret
+//	collectd -addr :7020 -spool-dir spool/ -wal-dir wal/ -fsync batch
 package main
 
 import (
@@ -20,6 +32,7 @@ import (
 	"smartusage/internal/collector"
 	"smartusage/internal/proto"
 	"smartusage/internal/trace"
+	"smartusage/internal/wal"
 )
 
 func main() {
@@ -27,27 +40,40 @@ func main() {
 	log.SetPrefix("collectd: ")
 	var (
 		addr         = flag.String("addr", "127.0.0.1:7020", "TCP listen address")
-		spool        = flag.String("spool", "collected.trace", "output trace file")
-		spoolDir     = flag.String("spooldir", "", "rotate segments into this directory instead of -spool")
-		maxSeg       = flag.Int64("maxseg", 256<<20, "segment size budget for -spooldir (bytes)")
+		spool        = flag.String("spool", "collected.trace", "output trace file (single-file mode)")
+		spoolDir     = flag.String("spool-dir", "", "rotate trace segments into this directory instead of -spool")
+		maxSeg       = flag.Int64("maxseg", 256<<20, "segment size budget for -spool-dir (bytes)")
 		token        = flag.String("token", "", "shared auth token (empty disables auth)")
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "per-frame read deadline")
 		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline")
 		maxFrame     = flag.Int("maxframe", proto.MaxFrameSize, "per-frame payload cap (bytes)")
 		maxConns     = flag.Int("maxconns", 256, "concurrent connection cap")
+		walDir       = flag.String("wal-dir", "", "write-ahead log directory (enables crash-safe collection; requires -spool-dir)")
+		fsync        = flag.String("fsync", "batch", "WAL fsync policy: batch (per accepted batch), interval, or off")
+		fsyncEvery   = flag.Duration("fsync-interval", time.Second, "sync period for -fsync interval")
+		walSeg       = flag.Int64("wal-seg", 64<<20, "WAL segment rotation size (bytes)")
+		ckptEvery    = flag.Duration("checkpoint-interval", time.Minute, "WAL checkpoint (and retention) period")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget; expiry with active connections exits non-zero")
 	)
 	flag.Parse()
 
-	var sink collector.Sink
-	var finish func() error
+	var (
+		sink     collector.Sink
+		finish   func() error
+		rotating *collector.RotatingSpool
+	)
 	if *spoolDir != "" {
 		sp, err := collector.NewRotatingSpool(*spoolDir, *maxSeg)
 		if err != nil {
 			log.Fatal(err)
 		}
+		rotating = sp
 		sink = sp.Sink()
 		finish = sp.Close
 	} else {
+		if *walDir != "" {
+			log.Fatal("-wal-dir requires -spool-dir (recovery rewinds the spool to sealed segments)")
+		}
 		f, err := os.Create(*spool)
 		if err != nil {
 			log.Fatal(err)
@@ -62,6 +88,22 @@ func main() {
 		}
 	}
 
+	var walLog *wal.Log
+	if *walDir != "" {
+		policy, err := wal.ParsePolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		walLog, err = wal.Open(*walDir, wal.Options{
+			SegmentBytes: *walSeg,
+			Policy:       policy,
+			Interval:     *fsyncEvery,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	srv, err := collector.New(collector.Config{
 		Addr:          *addr,
 		Token:         *token,
@@ -70,9 +112,17 @@ func main() {
 		WriteTimeout:  *writeTimeout,
 		MaxFrameBytes: *maxFrame,
 		MaxConns:      *maxConns,
+		WAL:           walLog,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if walLog != nil {
+		rec, err := srv.Recover(rotating.Restore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("recovered: %s", rec)
 	}
 	if err := srv.Listen(); err != nil {
 		log.Fatal(err)
@@ -85,14 +135,75 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := srv.Serve(ctx); err != nil {
-		log.Print(err)
+
+	checkpoint := func() error { return srv.Checkpoint(rotating.Seal) }
+	if walLog != nil {
+		go func() {
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := checkpoint(); err != nil {
+						log.Printf("checkpoint: %v", err)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx) }()
+
+	drained := true
+	select {
+	case err := <-served:
+		// The listener died on its own (not a signal).
+		if err != nil {
+			log.Print(err)
+		}
+	case <-ctx.Done():
+		select {
+		case err := <-served:
+			if err != nil {
+				log.Print(err)
+			}
+		case <-time.After(*drainTimeout):
+			drained = false
+			log.Printf("drain deadline (%s) expired with %d connections still active",
+				*drainTimeout, srv.Stats().ActiveConns.Load())
+		}
+	}
+
+	// Final checkpoint before the spool closes: the drained spool is
+	// durable, so the WAL shrinks to a snapshot and the next start replays
+	// only the tail. After an expired drain the checkpoint is skipped —
+	// the WAL still holds everything, and the next start recovers it.
+	if walLog != nil && drained {
+		if err := checkpoint(); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		}
 	}
 	if err := finish(); err != nil {
 		log.Fatal(err)
 	}
+	if walLog != nil {
+		if err := walLog.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		}
+	}
+
 	st := srv.Stats()
-	log.Printf("done: %d conns, %d devices, %d batches (%d dup), %d samples, %d auth failures, %d sink errors, %d errors",
-		st.Conns.Load(), st.Devices.Load(), st.Batches.Load(), st.DupBatches.Load(),
-		st.Samples.Load(), st.AuthFails.Load(), st.SinkErrs.Load(), st.Errors.Load())
+	walSegs, walBytes := 0, int64(0)
+	if walLog != nil {
+		walSegs, walBytes = walLog.Segments(), walLog.Bytes()
+	}
+	log.Printf("done: %d conns (%d active), %d devices, %d batches (%d dup), %d samples, %d auth failures, %d sink errors, %d errors, wal %d segments / %d bytes",
+		st.Conns.Load(), st.ActiveConns.Load(), st.Devices.Load(), st.Batches.Load(), st.DupBatches.Load(),
+		st.Samples.Load(), st.AuthFails.Load(), st.SinkErrs.Load(), st.Errors.Load(), walSegs, walBytes)
+	if !drained {
+		os.Exit(1)
+	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"smartusage/internal/proto"
 	"smartusage/internal/trace"
+	"smartusage/internal/wal"
 )
 
 // Config configures an Agent.
@@ -53,6 +54,16 @@ type Config struct {
 	Backoff    time.Duration
 	MaxBackoff time.Duration
 
+	// SpoolDir, when non-empty, journals the upload queue to disk (see
+	// spool.go): a killed agent process restarts with the same pending
+	// samples, in-flight batch, and batch-ID sequence, so nothing is lost
+	// and nothing is double-delivered. Empty keeps the queue in memory
+	// only, as the seed behaviour.
+	SpoolDir string
+	// SpoolSegmentBytes overrides the spool's segment rotation size, for
+	// tests (default 8 MiB).
+	SpoolSegmentBytes int64
+
 	// Dial overrides the dialer, for tests and fault injection; nil uses
 	// net.DialTimeout.
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
@@ -70,6 +81,8 @@ type Stats struct {
 	FlushErrs int
 	Retries   int // re-attempts within flushes, after backoff
 	Redials   int
+	Resumed   int // samples rebuilt from the disk spool at startup
+	SpoolErrs int // journal writes that failed (agent degraded to memory)
 }
 
 // Agent buffers and uploads samples. It is not safe for concurrent use; a
@@ -84,10 +97,15 @@ type Agent struct {
 	cfg   Config
 	stats Stats
 
-	pending    []trace.Sample // recorded, not yet assigned to a batch
-	inflight   []trace.Sample // frozen batch awaiting ack
-	inflightID uint64
-	batchID    uint64
+	pending      []trace.Sample // recorded, not yet assigned to a batch
+	inflight     []trace.Sample // frozen batch awaiting ack
+	inflightID   uint64
+	inflightSent bool // batch bytes may have reached the server (this or a prior incarnation)
+	batchID      uint64
+	serverLast   uint64 // HelloAck.LastBatch from the current session
+
+	spool    *wal.Log // disk journal of the queue; nil without SpoolDir
+	spoolBuf []byte
 
 	conn      net.Conn
 	pc        *proto.Conn
@@ -133,10 +151,22 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.Sleep == nil {
 		cfg.Sleep = time.Sleep
 	}
-	return &Agent{
+	a := &Agent{
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(int64(cfg.Device) + 1)),
-	}, nil
+	}
+	if cfg.SpoolDir != "" {
+		if err := a.openSpool(); err != nil {
+			return nil, err
+		}
+		if a.inflight != nil {
+			// The journaled in-flight batch may have reached the server
+			// before the previous incarnation died; its ID must survive
+			// so the collector's dedup can absorb the re-send.
+			a.inflightSent = true
+		}
+	}
+	return a, nil
 }
 
 // Stats returns a copy of the agent's counters.
@@ -164,12 +194,14 @@ func (a *Agent) Record(s *trace.Sample) {
 		}
 		cp.APs = kept
 	}
+	a.journalSample(&cp) // journal before the queue change takes effect
 	a.pending = append(a.pending, cp)
 	a.stats.Recorded++
 	if over := a.Pending() - a.cfg.MaxCache; over > 0 {
 		if over > len(a.pending) {
 			over = len(a.pending)
 		}
+		a.journalDrop(over)
 		a.pending = a.pending[over:]
 		a.stats.Dropped += over
 	}
@@ -192,6 +224,8 @@ func (a *Agent) Flush() error {
 			a.inflightID = a.batchID
 			a.inflight = a.pending
 			a.pending = nil
+			a.inflightSent = false
+			a.journalFreeze(a.inflightID, len(a.inflight))
 		}
 		a.stats.Flushes++
 		if err := a.uploadWithRetry(); err != nil {
@@ -199,6 +233,7 @@ func (a *Agent) Flush() error {
 			return err
 		}
 		a.stats.Uploaded += len(a.inflight)
+		a.journalAck(a.inflightID)
 		a.inflight = nil
 	}
 }
@@ -245,6 +280,19 @@ func (a *Agent) flushInflight() error {
 	if err := a.ensureConn(); err != nil {
 		return err
 	}
+	if !a.inflightSent && a.inflightID <= a.serverLast {
+		// This batch has never been transmitted, but its ID collides with
+		// a batch the server already acked — the local sequence state was
+		// lost (e.g. a wiped spool) while the server remembers the device.
+		// Renumber above the server's high-water mark before the first
+		// send; silently colliding would make dedup swallow fresh samples.
+		a.inflightID = a.serverLast + 1
+		if a.inflightID > a.batchID {
+			a.batchID = a.inflightID
+		}
+		a.journalFreeze(a.inflightID, len(a.inflight))
+	}
+	a.inflightSent = true
 	b := proto.Batch{BatchID: a.inflightID, Samples: a.inflight}
 	payload := proto.AppendBatch(nil, &b)
 	a.conn.SetDeadline(time.Now().Add(a.cfg.IOTimeout))
@@ -310,6 +358,14 @@ func (a *Agent) ensureConn() error {
 			conn.Close()
 			return err
 		}
+		// Session resume: never number a future batch at or below the
+		// server's last fully-acked ID for this device, even if the local
+		// spool (and with it the sequence state) was lost.
+		a.serverLast = ack.LastBatch
+		if a.inflight == nil && a.batchID < ack.LastBatch {
+			a.batchID = ack.LastBatch
+			a.journal(spoolSeq, appendUvarint(a.spoolBuf[:0], a.batchID))
+		}
 	case proto.FrameError:
 		var ef proto.ErrorFrame
 		derr := proto.DecodeErrorFrame(resp, &ef)
@@ -333,8 +389,28 @@ func (a *Agent) resetConn() {
 	a.conn, a.pc, a.connected = nil, nil, false
 }
 
-// Close flushes remaining samples (best effort), sends Bye, and closes the
-// connection. It returns the flush error, if any.
+// AbandonedError reports that Close could not drain the upload queue: Count
+// samples were left behind. With a disk spool they are retained on disk and
+// the next incarnation resumes them; without one they are gone.
+type AbandonedError struct {
+	Count   int   // samples still pending or in flight
+	Spooled bool  // true when a disk spool retains them
+	Err     error // the final flush failure
+}
+
+func (e *AbandonedError) Error() string {
+	fate := "lost"
+	if e.Spooled {
+		fate = "retained in spool"
+	}
+	return fmt.Sprintf("agent: close: %d samples abandoned (%s): %v", e.Count, fate, e.Err)
+}
+
+func (e *AbandonedError) Unwrap() error { return e.Err }
+
+// Close flushes remaining samples (best effort), sends Bye, closes the
+// connection, and closes the spool journal. A clean drain returns nil; a
+// failed drain returns an *AbandonedError counting the samples left behind.
 func (a *Agent) Close() error {
 	flushErr := a.Flush()
 	if a.connected {
@@ -342,5 +418,12 @@ func (a *Agent) Close() error {
 		_ = a.pc.WriteFrame(proto.FrameBye, nil)
 	}
 	a.resetConn()
-	return flushErr
+	var spoolErr error
+	if a.spool != nil {
+		spoolErr = a.spool.Close()
+	}
+	if flushErr != nil {
+		return &AbandonedError{Count: a.Pending(), Spooled: a.spool != nil, Err: flushErr}
+	}
+	return spoolErr
 }

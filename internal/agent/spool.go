@@ -1,0 +1,265 @@
+package agent
+
+// The disk spool: when Config.SpoolDir is set, every state change of the
+// upload queue is journaled to an append-only wal.Log before it takes
+// effect in memory — a recorded sample, a batch freeze (pending → in
+// flight, with its batch ID), an ack, a cache-overflow drop. Replaying the
+// journal therefore rebuilds the exact queue a killed agent process left
+// behind: restart resumes with the same pending samples, the same frozen
+// in-flight batch under the same batch ID (so the collector's dedup absorbs
+// a re-send of an already-acked batch), and the same sequence high-water
+// mark (so new batches never reuse an ID). The journal is truncated once
+// everything has been acked, and compacted on open, which bounds its size
+// to roughly the live queue.
+
+import (
+	"fmt"
+
+	"smartusage/internal/trace"
+	"smartusage/internal/wal"
+)
+
+// Spool journal record types.
+const (
+	spoolSample byte = 1 // one recorded sample (trace codec)
+	spoolFreeze byte = 2 // batch frozen: uvarint batchID, uvarint count
+	spoolAck    byte = 3 // in-flight batch acked: uvarint batchID
+	spoolDrop   byte = 4 // cache overflow dropped uvarint n oldest pending
+	spoolSeq    byte = 5 // batch-ID high-water mark: uvarint batchID
+)
+
+// openSpool opens (or creates) the journal and replays it into the agent's
+// queue state. Called from New before any recording happens.
+func (a *Agent) openSpool() error {
+	segBytes := a.cfg.SpoolSegmentBytes
+	if segBytes <= 0 {
+		segBytes = 8 << 20
+	}
+	// Process-death durability is the goal for a handset-side spool; the
+	// OS writes back on its own schedule, no fsync per sample.
+	log, err := wal.Open(a.cfg.SpoolDir, wal.Options{
+		SegmentBytes: segBytes,
+		Policy:       wal.FsyncOff,
+	})
+	if err != nil {
+		return fmt.Errorf("agent: open spool: %w", err)
+	}
+	a.spool = log
+	if err := a.replaySpool(); err != nil {
+		log.Close()
+		return err
+	}
+	a.stats.Resumed = a.Pending()
+	return a.compactSpool()
+}
+
+// replaySpool applies the journal in order, reconstructing pending,
+// inflight, inflightID, and the batch-ID high-water mark.
+func (a *Agent) replaySpool() error {
+	var sample trace.Sample
+	return a.spool.Replay(func(lsn wal.LSN, typ byte, payload []byte) error {
+		switch typ {
+		case spoolSample:
+			used, err := trace.DecodeSample(payload, &sample)
+			if err != nil {
+				return fmt.Errorf("agent: spool sample at %s: %w", lsn, err)
+			}
+			if used != len(payload) {
+				return fmt.Errorf("agent: spool sample at %s: trailing bytes", lsn)
+			}
+			a.pending = append(a.pending, *sample.Clone())
+		case spoolFreeze:
+			d := spoolReader{buf: payload}
+			id, count := d.uvarint(), int(d.uvarint())
+			if err := d.finish("freeze"); err != nil {
+				return err
+			}
+			switch {
+			case a.inflight == nil:
+				if count > len(a.pending) {
+					return fmt.Errorf("agent: spool freeze at %s: %d samples frozen, %d pending", lsn, count, len(a.pending))
+				}
+				a.inflight = a.pending[:count:count]
+				a.pending = a.pending[count:]
+				a.inflightID = id
+			case count == len(a.inflight):
+				// Renumbered in place (a fresh freeze collided with the
+				// server's sequence; see flushInflight).
+				a.inflightID = id
+			default:
+				return fmt.Errorf("agent: spool freeze at %s: %d frozen while %d already in flight", lsn, count, len(a.inflight))
+			}
+			if id > a.batchID {
+				a.batchID = id
+			}
+		case spoolAck:
+			d := spoolReader{buf: payload}
+			id := d.uvarint()
+			if err := d.finish("ack"); err != nil {
+				return err
+			}
+			if a.inflight == nil || id != a.inflightID {
+				return fmt.Errorf("agent: spool ack at %s: batch %d not in flight", lsn, id)
+			}
+			a.inflight = nil
+		case spoolDrop:
+			d := spoolReader{buf: payload}
+			n := int(d.uvarint())
+			if err := d.finish("drop"); err != nil {
+				return err
+			}
+			if n > len(a.pending) {
+				n = len(a.pending)
+			}
+			a.pending = a.pending[n:]
+		case spoolSeq:
+			d := spoolReader{buf: payload}
+			id := d.uvarint()
+			if err := d.finish("seq"); err != nil {
+				return err
+			}
+			if id > a.batchID {
+				a.batchID = id
+			}
+		default:
+			return fmt.Errorf("agent: spool record type %d at %s", typ, lsn)
+		}
+		return nil
+	})
+}
+
+// compactSpool rewrites the journal to just the live queue: the in-flight
+// samples, the pending samples, the freeze record, and the sequence mark.
+func (a *Agent) compactSpool() error {
+	if err := a.spool.Reset(); err != nil {
+		return fmt.Errorf("agent: compact spool: %w", err)
+	}
+	var buf []byte
+	appendSample := func(s *trace.Sample) error {
+		buf = trace.AppendSample(buf[:0], s)
+		_, err := a.spool.Append(spoolSample, buf)
+		return err
+	}
+	for i := range a.inflight {
+		if err := appendSample(&a.inflight[i]); err != nil {
+			return err
+		}
+	}
+	if a.inflight != nil {
+		buf = buf[:0]
+		buf = appendUvarint(buf, a.inflightID)
+		buf = appendUvarint(buf, uint64(len(a.inflight)))
+		if _, err := a.spool.Append(spoolFreeze, buf); err != nil {
+			return err
+		}
+	}
+	for i := range a.pending {
+		if err := appendSample(&a.pending[i]); err != nil {
+			return err
+		}
+	}
+	if a.batchID > 0 {
+		if _, err := a.spool.Append(spoolSeq, appendUvarint(buf[:0], a.batchID)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// journal appends one record, degrading to memory-only operation (with a
+// counted error) if the disk is unhappy — an agent must keep sampling even
+// with a full or broken flash partition.
+func (a *Agent) journal(typ byte, payload []byte) {
+	if a.spool == nil {
+		return
+	}
+	if _, err := a.spool.Append(typ, payload); err != nil {
+		a.stats.SpoolErrs++
+	}
+}
+
+func (a *Agent) journalSample(s *trace.Sample) {
+	if a.spool == nil {
+		return
+	}
+	a.spoolBuf = trace.AppendSample(a.spoolBuf[:0], s)
+	a.journal(spoolSample, a.spoolBuf)
+}
+
+func (a *Agent) journalFreeze(id uint64, count int) {
+	if a.spool == nil {
+		return
+	}
+	a.spoolBuf = appendUvarint(a.spoolBuf[:0], id)
+	a.spoolBuf = appendUvarint(a.spoolBuf, uint64(count))
+	a.journal(spoolFreeze, a.spoolBuf)
+}
+
+func (a *Agent) journalAck(id uint64) {
+	if a.spool == nil {
+		return
+	}
+	a.journal(spoolAck, appendUvarint(a.spoolBuf[:0], id))
+	// Everything acked: truncate the journal down to a sequence mark so
+	// the spool never grows past one drain cycle.
+	if a.Pending() == 0 {
+		if err := a.spool.Reset(); err != nil {
+			a.stats.SpoolErrs++
+			return
+		}
+		a.journal(spoolSeq, appendUvarint(a.spoolBuf[:0], a.batchID))
+	}
+}
+
+func (a *Agent) journalDrop(n int) {
+	if a.spool == nil {
+		return
+	}
+	a.journal(spoolDrop, appendUvarint(a.spoolBuf[:0], uint64(n)))
+}
+
+// appendUvarint is binary.AppendUvarint without the import noise at call
+// sites that also build samples.
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// spoolReader is the minimal journal-payload decoder.
+type spoolReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *spoolReader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	var v uint64
+	var s uint
+	for i := d.off; i < len(d.buf); i++ {
+		b := d.buf[i]
+		if b < 0x80 {
+			d.off = i + 1
+			return v | uint64(b)<<s
+		}
+		v |= uint64(b&0x7f) << s
+		s += 7
+	}
+	d.err = fmt.Errorf("agent: spool: truncated varint")
+	return 0
+}
+
+func (d *spoolReader) finish(what string) error {
+	if d.err != nil {
+		return fmt.Errorf("agent: spool %s: %w", what, d.err)
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("agent: spool %s: %d trailing bytes", what, len(d.buf)-d.off)
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 
 	"smartusage/internal/proto"
 	"smartusage/internal/trace"
+	"smartusage/internal/wal"
 )
 
 // Sink receives accepted samples. Implementations must be safe for
@@ -47,6 +48,16 @@ type Config struct {
 	MaxFrameBytes int
 	// MaxConns caps concurrent connections (default 256).
 	MaxConns int
+	// WAL, when non-nil, makes accepted batches durable: each is appended
+	// (and fsynced per the log's policy) before it is sinked or acked, and
+	// Recover rebuilds dedup state and un-checkpointed sink contents from
+	// it after a crash. Nil keeps the in-memory-only behaviour.
+	WAL *wal.Log
+	// Hook, when non-nil, is consulted at crash points ("pre-sink",
+	// "pre-ack") for fault injection; a non-nil return aborts the
+	// operation as a `kill -9` at that instant would. Production servers
+	// leave it nil. See faultnet.CrashPlan.
+	Hook func(point string) error
 	// Logf logs server events; nil uses log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -94,6 +105,7 @@ type Server struct {
 	mu      sync.Mutex
 	sink    Sink
 	devices map[trace.DeviceID]*deviceState
+	walBuf  []byte // batch-record scratch, reused under mu
 
 	sessionID atomic.Uint64
 
@@ -265,8 +277,8 @@ func (s *Server) handle(ctx context.Context, nc net.Conn) error {
 		s.stats.AuthFails.Add(1)
 		return s.fail(nc, c, "authentication failed")
 	}
-	s.beginSession(hello.Device)
-	ack := proto.HelloAck{SessionID: s.sessionID.Add(1)}
+	lastBatch := s.beginSession(hello.Device)
+	ack := proto.HelloAck{SessionID: s.sessionID.Add(1), LastBatch: lastBatch}
 	wdeadline()
 	if err := c.WriteFrame(proto.FrameHelloAck, proto.AppendHelloAck(nil, &ack)); err != nil {
 		return err
@@ -297,6 +309,14 @@ func (s *Server) handle(ctx context.Context, nc net.Conn) error {
 				}
 				return fmt.Errorf("sink: %w", err)
 			}
+			if s.cfg.Hook != nil {
+				// Crash point: the batch is committed (WAL + sink +
+				// dedup state) but the agent never hears about it; its
+				// retry must be absorbed by dedup.
+				if err := s.cfg.Hook("pre-ack"); err != nil {
+					return err
+				}
+			}
 			back := proto.BatchAck{BatchID: batch.BatchID, Accepted: accepted}
 			out = proto.AppendBatchAck(out[:0], &back)
 			wdeadline()
@@ -309,11 +329,18 @@ func (s *Server) handle(ctx context.Context, nc net.Conn) error {
 	}
 }
 
-// beginSession records a completed hello in the device bookkeeping.
-func (s *Server) beginSession(dev trace.DeviceID) {
+// beginSession records a completed hello in the device bookkeeping and
+// returns the device's last fully-acked batch ID (0 if none) for the
+// HelloAck session-resume field.
+func (s *Server) beginSession(dev trace.DeviceID) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.device(dev).sessions++
+	st := s.device(dev)
+	st.sessions++
+	if !st.haveLast {
+		return 0
+	}
+	return st.lastBatch
 }
 
 // device returns the state for dev, creating it under s.mu.
@@ -367,6 +394,22 @@ func (s *Server) accept(dev trace.DeviceID, b *proto.Batch) (uint32, error) {
 		start = st.partialNext
 		if start > len(b.Samples) {
 			start = len(b.Samples)
+		}
+	}
+	if s.cfg.WAL != nil && start == 0 {
+		// Durability point: the batch enters the WAL before the first
+		// sample reaches the sink and before the ack is written, so a
+		// crash from here on can always rebuild it. A partial-sink resume
+		// (start > 0) skips the append — the first attempt logged it.
+		s.walBuf = appendBatchRec(s.walBuf[:0], dev, b)
+		if _, err := s.cfg.WAL.Append(recBatch, s.walBuf); err != nil {
+			return 0, fmt.Errorf("wal append: %w", err)
+		}
+	}
+	if s.cfg.Hook != nil {
+		// Crash point: batch durable in the WAL, nothing sinked yet.
+		if err := s.cfg.Hook("pre-sink"); err != nil {
+			return 0, err
 		}
 	}
 	for i := start; i < len(b.Samples); i++ {

@@ -1,6 +1,7 @@
 package collector
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -99,10 +100,71 @@ func (sp *RotatingSpool) finishLocked() error {
 		sp.file.Close()
 		return err
 	}
+	// A finished segment is a durability boundary (WAL checkpoints build
+	// on it), so it must reach the platter, not just the page cache.
+	if err := sp.file.Sync(); err != nil {
+		sp.file.Close()
+		return fmt.Errorf("collector: sync segment: %w", err)
+	}
 	if err := sp.file.Close(); err != nil {
 		return fmt.Errorf("collector: close segment: %w", err)
 	}
 	sp.file, sp.writer = nil, nil
+	return nil
+}
+
+// Seal finishes (flush + fsync + close) the active segment, if any, and
+// returns an opaque state blob for a WAL checkpoint: everything spooled so
+// far is durable in segments 0..seq-1, and Restore with this blob brings a
+// crashed spool back to exactly this boundary. The next sample opens a new
+// segment.
+func (sp *RotatingSpool) Seal() ([]byte, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.closed {
+		return nil, fmt.Errorf("collector: spool closed")
+	}
+	if err := sp.finishLocked(); err != nil {
+		return nil, err
+	}
+	return binary.AppendUvarint(nil, uint64(sp.seq)), nil
+}
+
+// Restore resets the spool to the boundary recorded by Seal: segment files
+// at or past the sealed count are deleted (they hold post-checkpoint
+// samples the WAL replay is about to re-deliver, possibly torn). A nil
+// state restores the empty spool. Call it before any new sample is sinked —
+// collector.Recover's restore callback is the intended site.
+func (sp *RotatingSpool) Restore(state []byte) error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.writer != nil {
+		return fmt.Errorf("collector: restore after writes began")
+	}
+	var keep uint64
+	if len(state) > 0 {
+		v, n := binary.Uvarint(state)
+		if n <= 0 || n != len(state) {
+			return fmt.Errorf("collector: bad spool state blob")
+		}
+		keep = v
+	}
+	matches, err := filepath.Glob(filepath.Join(sp.dir, "spool-*.trace"))
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		var seq uint64
+		if _, err := fmt.Sscanf(filepath.Base(m), "spool-%d.trace", &seq); err != nil {
+			continue
+		}
+		if seq >= keep {
+			if err := os.Remove(m); err != nil {
+				return fmt.Errorf("collector: restore spool: %w", err)
+			}
+		}
+	}
+	sp.seq = int(keep)
 	return nil
 }
 

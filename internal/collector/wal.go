@@ -1,0 +1,339 @@
+package collector
+
+// Collector durability on top of internal/wal: every batch that passes
+// validation and dedup is appended to the WAL *before* any sample reaches
+// the sink or any ack reaches the agent, so an acked batch is always
+// reconstructible. Checkpoints snapshot the per-device dedup/sequence state
+// plus an opaque sink-state blob supplied by the sink's owner; recovery
+// loads the last checkpoint and replays only the records after it — batches
+// older than the checkpoint live in the sink already, batches after it are
+// re-sinked, and the rebuilt dedup state absorbs agent retries of anything
+// the WAL holds. See DESIGN.md "Durability & recovery" for the crash matrix.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"smartusage/internal/proto"
+	"smartusage/internal/trace"
+	"smartusage/internal/wal"
+)
+
+// WAL record types.
+const (
+	recBatch      byte = 1 // one accepted batch: device, batch ID, samples
+	recCheckpoint byte = 2 // device-state snapshot + opaque sink state
+)
+
+// appendBatchRec encodes one accepted batch as a WAL record payload.
+func appendBatchRec(dst []byte, dev trace.DeviceID, b *proto.Batch) []byte {
+	dst = binary.AppendUvarint(dst, uint64(dev))
+	dst = binary.AppendUvarint(dst, b.BatchID)
+	dst = binary.AppendUvarint(dst, uint64(len(b.Samples)))
+	var sample []byte
+	for i := range b.Samples {
+		sample = trace.AppendSample(sample[:0], &b.Samples[i])
+		dst = binary.AppendUvarint(dst, uint64(len(sample)))
+		dst = append(dst, sample...)
+	}
+	return dst
+}
+
+// batchRec is a decoded recBatch payload.
+type batchRec struct {
+	dev     trace.DeviceID
+	batchID uint64
+	samples []trace.Sample
+}
+
+// decodeBatchRec decodes a recBatch payload, reusing r.samples.
+func decodeBatchRec(buf []byte, r *batchRec) error {
+	d := walReader{buf: buf}
+	r.dev = trace.DeviceID(d.uvarint())
+	r.batchID = d.uvarint()
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(buf)) {
+		return fmt.Errorf("collector: wal batch: corrupt sample count %d", n)
+	}
+	if cap(r.samples) < int(n) {
+		r.samples = make([]trace.Sample, n)
+	}
+	r.samples = r.samples[:n]
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		raw := d.bytes()
+		if d.err != nil {
+			break
+		}
+		used, err := trace.DecodeSample(raw, &r.samples[i])
+		if err != nil {
+			return fmt.Errorf("collector: wal batch sample %d: %w", i, err)
+		}
+		if used != len(raw) {
+			return fmt.Errorf("collector: wal batch sample %d: trailing bytes", i)
+		}
+	}
+	return d.finish("wal batch")
+}
+
+// appendCheckpoint encodes the device map and sink state as a recCheckpoint
+// payload. Only durability-relevant fields are snapshotted: dedup state and
+// the partial-sink cursor; session counters are per-incarnation.
+func appendCheckpoint(dst []byte, devices map[trace.DeviceID]*deviceState, sinkState []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(sinkState)))
+	dst = append(dst, sinkState...)
+	dst = binary.AppendUvarint(dst, uint64(len(devices)))
+	for dev, st := range devices {
+		dst = binary.AppendUvarint(dst, uint64(dev))
+		var flags byte
+		if st.haveLast {
+			flags |= 1
+		}
+		dst = append(dst, flags)
+		dst = binary.AppendUvarint(dst, st.lastBatch)
+		dst = binary.AppendUvarint(dst, st.partialID)
+		dst = binary.AppendUvarint(dst, uint64(st.partialNext))
+		dst = binary.AppendUvarint(dst, uint64(st.samples))
+	}
+	return dst
+}
+
+// decodeCheckpoint decodes a recCheckpoint payload.
+func decodeCheckpoint(buf []byte) (sinkState []byte, devices map[trace.DeviceID]*deviceState, err error) {
+	d := walReader{buf: buf}
+	sinkState = append([]byte(nil), d.bytes()...)
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(buf)) {
+		return nil, nil, fmt.Errorf("collector: wal checkpoint: corrupt device count %d", n)
+	}
+	devices = make(map[trace.DeviceID]*deviceState, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		dev := trace.DeviceID(d.uvarint())
+		flags := d.byte()
+		st := &deviceState{
+			haveLast:    flags&1 != 0,
+			lastBatch:   d.uvarint(),
+			partialID:   d.uvarint(),
+			partialNext: int(d.uvarint()),
+			samples:     int64(d.uvarint()),
+		}
+		devices[dev] = st
+	}
+	if err := d.finish("wal checkpoint"); err != nil {
+		return nil, nil, err
+	}
+	return sinkState, devices, nil
+}
+
+// Recovery reports what a WAL replay rebuilt.
+type Recovery struct {
+	// Checkpoint is true when a checkpoint record anchored the replay.
+	Checkpoint bool
+	// SinkState is the opaque blob stored by the last Checkpoint call
+	// (nil without one); it was handed to the restore callback.
+	SinkState []byte
+	// Batches counts batch records applied past the checkpoint.
+	Batches int64
+	// Resinked counts samples re-delivered to the sink during replay.
+	Resinked int64
+	// Devices is how many devices have rebuilt dedup state.
+	Devices int
+	// TornBytes is the size of the torn tail record the WAL truncated
+	// away on open (0 after a clean shutdown).
+	TornBytes int64
+}
+
+// String renders the recovery summary for log lines.
+func (r *Recovery) String() string {
+	return fmt.Sprintf("checkpoint=%v devices=%d batches-replayed=%d samples-resinked=%d torn-bytes=%d",
+		r.Checkpoint, r.Devices, r.Batches, r.Resinked, r.TornBytes)
+}
+
+// Recover rebuilds server state from the configured WAL. Call it after New
+// and before Serve, on a server that has handled no connections. The
+// restore callback (optional) receives the sink state saved by the last
+// checkpoint — nil if there was none — and must reset the sink to exactly
+// that state (discarding anything the sink holds past it) before Recover
+// re-sinks the post-checkpoint samples; skipping that step double-sinks
+// whatever the sink had already absorbed after the checkpoint.
+func (s *Server) Recover(restore func(sinkState []byte) error) (*Recovery, error) {
+	w := s.cfg.WAL
+	if w == nil {
+		return nil, errors.New("collector: Recover requires a WAL")
+	}
+
+	// Pass 1: locate the last checkpoint. The snapshot supersedes every
+	// record before it, so only its position and payload matter.
+	var (
+		ckLSN     wal.LSN
+		ckPayload []byte
+		found     bool
+	)
+	err := w.Replay(func(lsn wal.LSN, typ byte, payload []byte) error {
+		if typ == recCheckpoint {
+			found, ckLSN = true, lsn
+			ckPayload = append(ckPayload[:0], payload...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rec := &Recovery{Checkpoint: found, TornBytes: w.Torn()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if found {
+		state, devices, err := decodeCheckpoint(ckPayload)
+		if err != nil {
+			return nil, err
+		}
+		rec.SinkState = state
+		for dev, st := range devices {
+			s.devices[dev] = st
+			s.stats.Devices.Add(1)
+		}
+	}
+	if restore != nil {
+		if err := restore(rec.SinkState); err != nil {
+			return nil, fmt.Errorf("collector: restore sink: %w", err)
+		}
+	}
+
+	// Pass 2: apply and re-sink everything past the checkpoint, in log
+	// order, deduplicating exactly as live accept() would — a batch that
+	// was WAL-appended twice (partial-sink retry) replays once.
+	var b batchRec
+	err = w.Replay(func(lsn wal.LSN, typ byte, payload []byte) error {
+		if typ != recBatch {
+			return nil
+		}
+		if found && !ckLSN.Before(lsn) {
+			return nil // covered by the snapshot (and by the sink state)
+		}
+		if err := decodeBatchRec(payload, &b); err != nil {
+			return err
+		}
+		st := s.device(b.dev)
+		if st.haveLast && b.batchID <= st.lastBatch {
+			return nil
+		}
+		start := 0
+		if st.partialID == b.batchID && st.partialNext > 0 {
+			start = st.partialNext
+			if start > len(b.samples) {
+				start = len(b.samples)
+			}
+		}
+		for i := start; i < len(b.samples); i++ {
+			if err := s.sink(&b.samples[i]); err != nil {
+				return fmt.Errorf("collector: recovery sink: %w", err)
+			}
+		}
+		st.haveLast, st.lastBatch = true, b.batchID
+		st.partialID, st.partialNext = 0, 0
+		st.samples += int64(len(b.samples) - start)
+		rec.Batches++
+		rec.Resinked += int64(len(b.samples) - start)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec.Devices = len(s.devices)
+	return rec, nil
+}
+
+// Checkpoint snapshots the per-device state plus the sink state returned by
+// sinkState (called under the server lock, so no sample lands in the sink
+// between the blob and the snapshot), appends it to the WAL, syncs, and
+// drops sealed WAL segments the checkpoint has made obsolete. The sink
+// owner must make the sink durable up to this instant before returning the
+// blob — for a RotatingSpool that means sealing the active segment.
+func (s *Server) Checkpoint(sinkState func() ([]byte, error)) error {
+	w := s.cfg.WAL
+	if w == nil {
+		return errors.New("collector: Checkpoint requires a WAL")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var state []byte
+	if sinkState != nil {
+		st, err := sinkState()
+		if err != nil {
+			return fmt.Errorf("collector: checkpoint sink: %w", err)
+		}
+		state = st
+	}
+	lsn, err := w.Append(recCheckpoint, appendCheckpoint(nil, s.devices, state))
+	if err != nil {
+		return err
+	}
+	// A checkpoint must be durable before retention may drop the segments
+	// it supersedes, whatever the append-path fsync policy says.
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	if _, err := w.TruncateBefore(lsn); err != nil {
+		return err
+	}
+	return nil
+}
+
+// walReader mirrors proto's fieldReader for WAL payloads.
+type walReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *walReader) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *walReader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *walReader) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	out := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return out
+}
+
+func (d *walReader) finish(what string) error {
+	if d.err != nil {
+		return fmt.Errorf("collector: decode %s: %w", what, d.err)
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("collector: decode %s: %d trailing bytes", what, len(d.buf)-d.off)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package faultnet
+
+// Crash-point injection: where the network faults in this package model a
+// hostile link, a CrashPlan models `kill -9` — the process dies at a named
+// point in the durability pipeline and everything that was not yet flushed
+// to the OS is gone. The collector and WAL consult the plan via their Hook
+// options; once the plan fires, every later check at any point fails, so a
+// "dead" collector commits nothing more until the test tears it down and
+// cold-starts a fresh one from disk.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"smartusage/internal/wal"
+)
+
+// Crash point names, in pipeline order.
+const (
+	// CrashWALAppend dies mid-append: a torn half-record reaches the OS.
+	CrashWALAppend = "wal-append"
+	// CrashPreFsync dies after the WAL record reached the OS but before
+	// fsync — durable across process death, not across power loss.
+	CrashPreFsync = "pre-fsync"
+	// CrashPreSink dies after the WAL append, before any sample reaches
+	// the sink.
+	CrashPreSink = "pre-sink"
+	// CrashPreAck dies after the batch is committed (WAL + sink + state)
+	// but before the ack frame is written: the agent must retry and the
+	// collector must dedup.
+	CrashPreAck = "pre-ack"
+	// CrashAgentKill is the agent-side kill; it is orchestrated by the
+	// test (drop the Agent, rebuild from its spool), not by a hook.
+	CrashAgentKill = "agent-kill"
+)
+
+// ErrCrash is the error returned at the instant a CrashPlan fires.
+var ErrCrash = errors.New("faultnet: injected crash")
+
+// ErrDown is returned by every check after the plan has fired: the process
+// is dead and performs no further work.
+var ErrDown = errors.New("faultnet: process is down (crashed earlier)")
+
+// CrashPlan fires an injected crash at the Nth hit of one named point.
+// Check is safe for concurrent use.
+type CrashPlan struct {
+	point string
+	hit   int64
+
+	n     atomic.Int64
+	once  sync.Once
+	fired chan struct{}
+}
+
+// NewCrashPlan returns a plan that fires at the hit'th time (1-based) the
+// named point is checked.
+func NewCrashPlan(point string, hit int) *CrashPlan {
+	if hit < 1 {
+		hit = 1
+	}
+	return &CrashPlan{point: point, hit: int64(hit), fired: make(chan struct{})}
+}
+
+// Fired is closed when the plan fires; tests wait on it to tear the
+// "crashed" process down.
+func (p *CrashPlan) Fired() <-chan struct{} { return p.fired }
+
+// Point returns the plan's crash point.
+func (p *CrashPlan) Point() string { return p.point }
+
+// Check is the hook: it returns nil until the plan fires, a crash error at
+// the firing instant, and ErrDown ever after.
+func (p *CrashPlan) Check(point string) error {
+	select {
+	case <-p.fired:
+		return ErrDown
+	default:
+	}
+	if point != p.point {
+		return nil
+	}
+	if p.n.Add(1) != p.hit {
+		return nil
+	}
+	p.once.Do(func() { close(p.fired) })
+	if point == CrashWALAppend {
+		// Ask the WAL to leave the torn half-record a real mid-append
+		// kill would.
+		return fmt.Errorf("%w at %s: %w", ErrCrash, point, wal.ErrCrashTorn)
+	}
+	return fmt.Errorf("%w at %s", ErrCrash, point)
+}

@@ -1,0 +1,306 @@
+package faultnet_test
+
+// The kill-restart chaos soak: agents push batches into a WAL-backed
+// collector while a CrashPlan kills the collector at a chosen point in the
+// durability pipeline (mid-WAL-append with a torn record, pre-fsync,
+// pre-sink, pre-ack) — or the agents themselves are killed and rebuilt from
+// their disk spools. The collector is then cold-started from its WAL and
+// spool directory, the agents retry through the outage, and the end state is
+// asserted exactly-once: every recorded sample appears in the spool exactly
+// once, in per-device order. Runs under -race; every (point, seed) pair is
+// deterministic in its crash trigger, so a passing pair stays passing.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"smartusage/internal/agent"
+	"smartusage/internal/collector"
+	"smartusage/internal/faultnet"
+	"smartusage/internal/trace"
+	"smartusage/internal/wal"
+)
+
+const (
+	crashAgents     = 3
+	crashBatchSize  = 4
+	crashBatches    = 6
+	crashSamples    = crashBatchSize * crashBatches // per agent
+	crashDrainTries = 5000
+)
+
+func TestCrashRestartSoak(t *testing.T) {
+	points := []string{
+		faultnet.CrashWALAppend,
+		faultnet.CrashPreFsync,
+		faultnet.CrashPreSink,
+		faultnet.CrashPreAck,
+		faultnet.CrashAgentKill,
+	}
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, point := range points {
+		point := point
+		t.Run(point, func(t *testing.T) {
+			for _, seed := range seeds {
+				seed := seed
+				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+					t.Parallel()
+					runCrashSoak(t, point, seed)
+				})
+			}
+		})
+	}
+}
+
+// crashCollector is one collector incarnation over a shared WAL + spool
+// directory pair.
+type crashCollector struct {
+	srv   *collector.Server
+	spool *collector.RotatingSpool
+	wal   *wal.Log
+	rec   *collector.Recovery
+	stop  func()
+}
+
+// startCrashCollector cold-starts a collector incarnation: open the WAL
+// (repairing any torn tail), recover dedup + sink state, listen on addr
+// (":0" picks a port; a fixed addr is retried while the previous
+// incarnation's socket drains), serve, and checkpoint periodically. hook is
+// the crash plan for this incarnation — nil for one that must survive.
+func startCrashCollector(t *testing.T, addr, walDir, spoolDir string, hook func(string) error) *crashCollector {
+	t.Helper()
+	w, err := wal.Open(walDir, wal.Options{
+		SegmentBytes: 4 << 10,
+		Policy:       wal.FsyncRecord,
+		Hook:         hook,
+	})
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	sp, err := collector.NewRotatingSpool(spoolDir, 2<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := collector.New(collector.Config{
+		Addr:         addr,
+		Token:        "crash",
+		Sink:         sp.Sink(),
+		ReadTimeout:  200 * time.Millisecond,
+		WriteTimeout: 200 * time.Millisecond,
+		WAL:          w,
+		Hook:         hook,
+		Logf:         func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := srv.Recover(sp.Restore)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	var lerr error
+	for i := 0; i < 100; i++ {
+		if lerr = srv.Listen(); lerr == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if lerr != nil {
+		t.Fatalf("listen %s: %v", addr, lerr)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		srv.Serve(ctx)
+	}()
+	go func() {
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				// Checkpoint failures after the crash fired are the dead
+				// process refusing work; before it, they would surface in
+				// the final conservation check anyway.
+				_ = srv.Checkpoint(sp.Seal)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return &crashCollector{
+		srv: srv, spool: sp, wal: w, rec: rec,
+		stop: func() {
+			cancel()
+			<-served
+		},
+	}
+}
+
+func runCrashSoak(t *testing.T, point string, seed int64) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	spoolDir := filepath.Join(dir, "spool")
+
+	serverCrash := point != faultnet.CrashAgentKill
+	plan := faultnet.NewCrashPlan(point, int(2+seed))
+	var hook func(string) error
+	if serverCrash {
+		hook = plan.Check
+	}
+	inc1 := startCrashCollector(t, "127.0.0.1:0", walDir, spoolDir, hook)
+	addr := inc1.srv.Addr().String()
+
+	type result struct {
+		dev trace.DeviceID
+		err error
+	}
+	results := make(chan result, crashAgents)
+	for d := 0; d < crashAgents; d++ {
+		dev := trace.DeviceID(9000*seed + int64(d) + 1)
+		go func() {
+			results <- result{dev: dev, err: runCrashAgent(dir, addr, dev, point)}
+		}()
+	}
+
+	// For server-crash points: wait for the kill, tear the incarnation down
+	// (its WAL and spool objects are abandoned as a dead process would leave
+	// them — no Close, no flush), and cold-start a successor on the same
+	// address. The agents retry through the outage.
+	var inc2 *crashCollector
+	if serverCrash {
+		select {
+		case <-plan.Fired():
+		case <-time.After(20 * time.Second):
+			t.Fatal("crash point never fired; the soak exercised nothing")
+		}
+		inc1.stop()
+		inc2 = startCrashCollector(t, addr, walDir, spoolDir, nil)
+		if point == faultnet.CrashWALAppend && inc2.rec.TornBytes == 0 {
+			t.Error("wal-append crash left no torn tail record to repair")
+		}
+	}
+
+	for i := 0; i < crashAgents; i++ {
+		if r := <-results; r.err != nil {
+			t.Fatalf("agent %s: %v", r.dev, r.err)
+		}
+	}
+
+	final := inc2
+	if final == nil {
+		final = inc1
+	}
+	final.stop()
+	if err := final.spool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := final.wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly-once, in order, at the durable sink: read back every spool
+	// segment and check each device's time series is precisely what its
+	// agent recorded — no loss, no duplicate, no reorder, across the kill.
+	byDev := make(map[trace.DeviceID][]int64)
+	segs, err := filepath.Glob(filepath.Join(spoolDir, "spool-*.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(segs)
+	for _, seg := range segs {
+		f, err := os.Open(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = trace.NewReader(f).ReadAll(func(s *trace.Sample) error {
+			byDev[s.Device] = append(byDev[s.Device], s.Time)
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			t.Fatalf("read %s: %v", seg, err)
+		}
+	}
+	if len(byDev) != crashAgents {
+		t.Fatalf("spool holds %d devices, want %d", len(byDev), crashAgents)
+	}
+	for dev, times := range byDev {
+		if len(times) != crashSamples {
+			t.Fatalf("device %s: spool holds %d samples, want %d", dev, len(times), crashSamples)
+		}
+		for j, ts := range times {
+			if ts != int64(j)*600 {
+				t.Fatalf("device %s: spool position %d holds time %d, want %d (duplicate or reorder)", dev, j, ts, int64(j)*600)
+			}
+		}
+	}
+}
+
+// runCrashAgent records crashSamples samples through the faulty world,
+// draining with retries until everything is uploaded. For the agent-kill
+// point the agent object is dropped mid-campaign (journal never closed) and
+// rebuilt from its spool directory.
+func runCrashAgent(dir, addr string, dev trace.DeviceID, point string) error {
+	cfg := agent.Config{
+		Server:      addr,
+		Device:      dev,
+		OS:          trace.Android,
+		Token:       "crash",
+		BatchSize:   crashBatchSize,
+		MaxAttempts: 3,
+		Backoff:     time.Millisecond,
+		MaxBackoff:  8 * time.Millisecond,
+		DialTimeout: time.Second,
+		IOTimeout:   150 * time.Millisecond,
+		SpoolDir:    filepath.Join(dir, "agents", dev.String()),
+	}
+	a, err := agent.New(cfg)
+	if err != nil {
+		return err
+	}
+	record := func(i int) {
+		s := trace.Sample{Device: dev, OS: trace.Android, Time: int64(i) * 600, Battery: 50}
+		a.Record(&s)
+	}
+	killAt := crashSamples // never, unless this is the agent-kill point
+	if point == faultnet.CrashAgentKill {
+		// Two samples past the last auto-flush boundary, so the kill
+		// happens with unflushed samples in the journal.
+		killAt = crashSamples - crashBatchSize + 2
+	}
+	for i := 0; i < killAt; i++ {
+		record(i)
+	}
+	if killAt < crashSamples {
+		pending := a.Pending()
+		// Kill: drop the agent without Close, rebuild from the spool.
+		a, err = agent.New(cfg)
+		if err != nil {
+			return err
+		}
+		if got := a.Stats().Resumed; got != pending {
+			return fmt.Errorf("resumed %d samples from the spool, want %d", got, pending)
+		}
+		for i := killAt; i < crashSamples; i++ {
+			record(i)
+		}
+	}
+	for try := 0; a.Pending() > 0; try++ {
+		if try > crashDrainTries {
+			return fmt.Errorf("%d samples still pending after %d flushes", a.Pending(), try)
+		}
+		a.Flush()
+		time.Sleep(time.Millisecond)
+	}
+	return a.Close()
+}

@@ -69,8 +69,11 @@ func (t FrameType) String() string {
 const MaxFrameSize = 4 << 20
 
 // Version is the protocol version carried in Hello. Version 2 added the
-// per-frame CRC-32C trailer.
-const Version = 2
+// per-frame CRC-32C trailer; version 3 added session resume (HelloAck
+// carries the server's last fully-acked batch ID for the device, so an
+// agent restarting from its disk spool can fast-forward past batches the
+// server already has).
+const Version = 3
 
 // ErrFrameTooLarge is returned when a peer announces an oversized frame.
 var ErrFrameTooLarge = errors.New("proto: frame exceeds size limit")
@@ -90,9 +93,15 @@ type Hello struct {
 	Token   string
 }
 
-// HelloAck is the server's response to Hello.
+// HelloAck is the server's response to Hello. LastBatch is the highest
+// batch ID the server has fully accepted and acked for this device (0 if
+// none): a reconnecting agent treats any in-flight batch at or below it as
+// already delivered and numbers new batches above it, which keeps batch IDs
+// strictly increasing across agent restarts even if the local spool was
+// lost.
 type HelloAck struct {
 	SessionID uint64
+	LastBatch uint64
 }
 
 // Batch carries samples. BatchID must increase per device; the server
@@ -230,13 +239,16 @@ func DecodeHello(buf []byte, h *Hello) error {
 
 // AppendHelloAck encodes a.
 func AppendHelloAck(dst []byte, a *HelloAck) []byte {
-	return binary.AppendUvarint(dst, a.SessionID)
+	dst = binary.AppendUvarint(dst, a.SessionID)
+	dst = binary.AppendUvarint(dst, a.LastBatch)
+	return dst
 }
 
 // DecodeHelloAck decodes a from buf.
 func DecodeHelloAck(buf []byte, a *HelloAck) error {
 	d := newFieldReader(buf)
 	a.SessionID = d.uvarint()
+	a.LastBatch = d.uvarint()
 	return d.finish("hello-ack")
 }
 

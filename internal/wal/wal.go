@@ -1,0 +1,696 @@
+// Package wal is a segment-based append-only write-ahead log shared by the
+// collector (batch durability + dedup recovery) and the agent (disk spool).
+// Records survive process death: every append is flushed to the OS before it
+// is acknowledged, and an fsync policy (per-record, interval, or off)
+// controls durability across power loss as well.
+//
+// On-disk layout: a directory of numbered segment files, each starting with
+// a 5-byte magic header followed by records. One record is
+//
+//	type byte | uvarint payload length | payload | CRC-32C(type+payload), BE
+//
+// identical in spirit to the proto frame format, so a torn or bit-flipped
+// record is a detected failure. Open repairs a torn tail — a record in the
+// final segment that is incomplete or fails its CRC at end of file is the
+// residue of a crash mid-append and is truncated away. Corruption anywhere
+// else (a sealed segment, or mid-segment with intact records after it) is
+// not a crash artifact and stops Replay with ErrCorrupt.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// segMagic opens every segment file.
+var segMagic = []byte("SWAL1")
+
+// MaxRecordSize bounds one record payload; collector batches are capped well
+// below this by the proto frame limit.
+const MaxRecordSize = 8 << 20
+
+// Fsync policies.
+type Policy int
+
+const (
+	// FsyncRecord syncs the segment file after every append: an
+	// acknowledged record survives power loss. This is the collector
+	// default — an acked batch must never be lost.
+	FsyncRecord Policy = iota
+	// FsyncInterval syncs at most every Options.Interval: bounded data loss
+	// on power failure, far fewer fsyncs under load.
+	FsyncInterval
+	// FsyncOff never syncs explicitly (the OS writes back on its own
+	// schedule). Appends still survive process death, not power loss.
+	FsyncOff
+)
+
+// ParsePolicy parses a -fsync flag value: "batch"/"record", "interval", "off".
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "batch", "record":
+		return FsyncRecord, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want batch, interval, or off)", s)
+}
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case FsyncRecord:
+		return "batch"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes rotates to a new segment once the current one exceeds
+	// this size (default 64 MiB).
+	SegmentBytes int64
+	// Policy is the fsync policy (default FsyncRecord).
+	Policy Policy
+	// Interval is the FsyncInterval period (default 1s).
+	Interval time.Duration
+	// Hook, when non-nil, is consulted at crash points ("wal-append",
+	// "pre-fsync") for fault injection; a non-nil return aborts the
+	// operation as a crash would. See faultnet.CrashPlan.
+	Hook func(point string) error
+}
+
+// Errors.
+var (
+	// ErrCorrupt marks a record that fails its CRC (or frames past the
+	// payload bound) somewhere other than the repairable tail.
+	ErrCorrupt = errors.New("wal: corrupt record")
+	// ErrClosed is returned by operations on a closed log.
+	ErrClosed = errors.New("wal: log closed")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// LSN is a log sequence number: a position in the log, ordered first by
+// segment then by byte offset of the record within it.
+type LSN struct {
+	Seg uint64 // segment sequence number
+	Off int64  // byte offset of the record's type byte
+}
+
+// Before reports whether a precedes b in the log.
+func (a LSN) Before(b LSN) bool {
+	if a.Seg != b.Seg {
+		return a.Seg < b.Seg
+	}
+	return a.Off < b.Off
+}
+
+func (a LSN) String() string { return fmt.Sprintf("%d:%d", a.Seg, a.Off) }
+
+// sealed describes one finished (read-only) segment.
+type sealed struct {
+	seq   uint64
+	bytes int64
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	sealedSt []sealed
+	f        *os.File
+	bw       *bufio.Writer
+	seq      uint64 // current segment sequence
+	off      int64  // current segment size (bytes written incl. header)
+	records  int64
+	torn     int64 // bytes truncated during Open's tail repair
+	dirty    bool  // bytes flushed to the OS but not yet fsynced
+	closed   bool
+
+	stopSync chan struct{} // interval-policy syncer
+	syncDone chan struct{}
+}
+
+// Open opens (creating if needed) the log in dir, repairing a torn tail
+// record left by a crash mid-append. The returned log appends after the last
+// intact record.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 64 << 20
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = time.Second
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	seqs, err := l.scanDir()
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) == 0 {
+		if err := l.openSegment(0); err != nil {
+			return nil, err
+		}
+	} else {
+		// All but the last are sealed; the last is repaired and reopened
+		// for appending.
+		for _, seq := range seqs[:len(seqs)-1] {
+			fi, err := os.Stat(l.segPath(seq))
+			if err != nil {
+				return nil, fmt.Errorf("wal: stat segment: %w", err)
+			}
+			l.sealedSt = append(l.sealedSt, sealed{seq: seq, bytes: fi.Size()})
+		}
+		last := seqs[len(seqs)-1]
+		size, n, err := repairTail(l.segPath(last))
+		if err != nil {
+			return nil, err
+		}
+		l.torn = n
+		f, err := os.OpenFile(l.segPath(last), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: reopen segment: %w", err)
+		}
+		l.f, l.bw = f, bufio.NewWriterSize(f, 64<<10)
+		l.seq, l.off = last, size
+	}
+	if opts.Policy == FsyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// scanDir lists existing segment sequence numbers in order.
+func (l *Log) scanDir() ([]uint64, error) {
+	matches, err := filepath.Glob(filepath.Join(l.dir, "wal-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, m := range matches {
+		var seq uint64
+		if _, err := fmt.Sscanf(filepath.Base(m), "wal-%d.log", &seq); err != nil {
+			continue // foreign file; leave it alone
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+func (l *Log) segPath(seq uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("wal-%08d.log", seq))
+}
+
+// repairTail scans one segment, truncating a torn final record (incomplete
+// bytes or a CRC failure that extends to end of file). It returns the size
+// after repair and how many bytes were cut. Corruption that is not a tail —
+// a bad record with intact framing after it cannot be distinguished once the
+// stream desynchronizes, so any scan error here is treated as the tail; the
+// mid-segment ErrCorrupt case applies to sealed segments, which are never
+// repaired.
+func repairTail(path string) (size, torn int64, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: open segment: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	total := fi.Size()
+	if total < int64(len(segMagic)) {
+		// Crash between create and header write: rewrite the header.
+		if err := f.Truncate(0); err != nil {
+			return 0, 0, err
+		}
+		if _, err := f.WriteAt(segMagic, 0); err != nil {
+			return 0, 0, err
+		}
+		return int64(len(segMagic)), total, nil
+	}
+	good, _, err := scanSegment(f, nil)
+	if err != nil && !errors.Is(err, ErrCorrupt) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return 0, 0, err
+	}
+	if good < total {
+		if err := f.Truncate(good); err != nil {
+			return 0, 0, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		return good, total - good, nil
+	}
+	return total, 0, nil
+}
+
+// scanSegment reads records from the segment's start, calling fn (when
+// non-nil) for each intact record with its starting offset. It returns the
+// offset of the first byte past the last intact record; err reports why the
+// scan stopped early (io.EOF for a clean end is mapped to nil).
+func scanSegment(f *os.File, fn func(off int64, typ byte, payload []byte) error) (int64, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	br := bufio.NewReaderSize(f, 64<<10)
+	hdr := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return 0, 0, fmt.Errorf("wal: segment header: %w", err)
+	}
+	if string(hdr) != string(segMagic) {
+		return 0, 0, fmt.Errorf("wal: bad segment magic %q", hdr)
+	}
+	off := int64(len(segMagic))
+	var n int64
+	var buf []byte
+	for {
+		typ, payload, used, err := readRecord(br, &buf)
+		if err == io.EOF {
+			return off, n, nil
+		}
+		if err != nil {
+			return off, n, err
+		}
+		if fn != nil {
+			if err := fn(off, typ, payload); err != nil {
+				return off, n, err
+			}
+		}
+		off += used
+		n++
+	}
+}
+
+// readRecord reads one framed record. io.EOF means a clean record boundary;
+// io.ErrUnexpectedEOF means the record is incomplete (torn); ErrCorrupt
+// means the CRC failed or the frame is malformed.
+func readRecord(br *bufio.Reader, buf *[]byte) (typ byte, payload []byte, used int64, err error) {
+	tb, err := br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return 0, nil, 0, io.EOF
+		}
+		return 0, nil, 0, err
+	}
+	size, sn, err := readUvarint(br)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, 0, io.ErrUnexpectedEOF
+		}
+		return 0, nil, 0, err
+	}
+	if size > MaxRecordSize {
+		return 0, nil, 0, fmt.Errorf("%w: record length %d exceeds limit", ErrCorrupt, size)
+	}
+	need := int(size) + 4
+	if cap(*buf) < need {
+		*buf = make([]byte, need)
+	}
+	b := (*buf)[:need]
+	if _, err := io.ReadFull(br, b); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, 0, io.ErrUnexpectedEOF
+		}
+		return 0, nil, 0, err
+	}
+	payload = b[:size]
+	sum := crc32.Update(0, crcTable, []byte{tb})
+	sum = crc32.Update(sum, crcTable, payload)
+	if binary.BigEndian.Uint32(b[size:]) != sum {
+		return 0, nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return tb, payload, 1 + int64(sn) + int64(need), nil
+}
+
+// readUvarint is binary.ReadUvarint plus a count of bytes consumed.
+func readUvarint(br *bufio.Reader) (uint64, int, error) {
+	var v uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, i, err
+		}
+		if i == binary.MaxVarintLen64 {
+			return 0, i, fmt.Errorf("%w: varint overflow", ErrCorrupt)
+		}
+		if b < 0x80 {
+			return v | uint64(b)<<s, i + 1, nil
+		}
+		v |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
+// openSegment creates and switches to segment seq.
+func (l *Log) openSegment(seq uint64) error {
+	f, err := os.Create(l.segPath(seq))
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 64<<10)
+	if _, err := bw.Write(segMagic); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.bw = f, bw
+	l.seq, l.off = seq, int64(len(segMagic))
+	return nil
+}
+
+// Append writes one record and flushes it to the OS; per policy it also
+// fsyncs. It returns the record's LSN. Rotation to a new segment happens
+// before the write when the current segment is over budget, so one record
+// never spans segments.
+func (l *Log) Append(typ byte, payload []byte) (LSN, error) {
+	if len(payload) > MaxRecordSize {
+		return LSN{}, fmt.Errorf("wal: record payload %d exceeds limit", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return LSN{}, ErrClosed
+	}
+	if l.off >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return LSN{}, err
+		}
+	}
+
+	var frame []byte
+	frame = append(frame, typ)
+	frame = binary.AppendUvarint(frame, uint64(len(payload)))
+	frame = append(frame, payload...)
+	sum := crc32.Update(0, crcTable, []byte{typ})
+	sum = crc32.Update(sum, crcTable, payload)
+	frame = binary.BigEndian.AppendUint32(frame, sum)
+
+	if h := l.opts.Hook; h != nil {
+		if err := h("wal-append"); err != nil {
+			if errors.Is(err, ErrCrashTorn) {
+				// Simulate dying mid-append: a strict prefix of the frame
+				// reaches the OS, producing the torn tail Open must repair.
+				l.bw.Write(frame[:len(frame)/2])
+				l.bw.Flush()
+			}
+			return LSN{}, err
+		}
+	}
+
+	lsn := LSN{Seg: l.seq, Off: l.off}
+	if _, err := l.bw.Write(frame); err != nil {
+		return LSN{}, fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.bw.Flush(); err != nil {
+		return LSN{}, fmt.Errorf("wal: flush: %w", err)
+	}
+	l.off += int64(len(frame))
+	l.records++
+	l.dirty = true
+
+	if h := l.opts.Hook; h != nil {
+		// The record is in the OS (survives process death) but not yet
+		// synced (may not survive power loss).
+		if err := h("pre-fsync"); err != nil {
+			return LSN{}, err
+		}
+	}
+	if l.opts.Policy == FsyncRecord {
+		if err := l.syncLocked(); err != nil {
+			return LSN{}, err
+		}
+	}
+	return lsn, nil
+}
+
+// ErrCrashTorn asks Append's crash hook path to leave a torn half-record
+// behind; faultnet returns it for the "wal-append" crash point.
+var ErrCrashTorn = errors.New("wal: injected crash mid-append")
+
+// Sync fsyncs the current segment file.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.bw.Flush(); err != nil {
+		return err
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.dirty = false
+	return nil
+}
+
+// syncLoop services the FsyncInterval policy.
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed {
+				l.bw.Flush()
+				l.syncLocked()
+			}
+			l.mu.Unlock()
+		case <-l.stopSync:
+			return
+		}
+	}
+}
+
+// Rotate seals the current segment and opens the next one.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.rotateLocked()
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.sealLocked(); err != nil {
+		return err
+	}
+	if err := l.openSegment(l.seq + 1); err != nil {
+		return err
+	}
+	return l.syncDir()
+}
+
+// sealLocked flushes, syncs, and closes the current segment, recording it as
+// sealed.
+func (l *Log) sealLocked() error {
+	if err := l.bw.Flush(); err != nil {
+		return err
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	l.sealedSt = append(l.sealedSt, sealed{seq: l.seq, bytes: l.off})
+	return nil
+}
+
+// syncDir fsyncs the log directory so renames/creates/removals are durable.
+func (l *Log) syncDir() error {
+	d, err := os.Open(l.dir)
+	if err != nil {
+		return nil // best effort; not all platforms allow dir fsync
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}
+
+// Replay streams every record, sealed segments first then the active one, in
+// append order. A CRC failure in a sealed segment (or anywhere that is not
+// the repaired tail) surfaces as ErrCorrupt with the segment named. Replay
+// flushes pending appends first, so it observes everything appended so far.
+func (l *Log) Replay(fn func(lsn LSN, typ byte, payload []byte) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if err := l.bw.Flush(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	segs := make([]uint64, 0, len(l.sealedSt)+1)
+	for _, s := range l.sealedSt {
+		segs = append(segs, s.seq)
+	}
+	segs = append(segs, l.seq)
+	l.mu.Unlock()
+
+	for _, seq := range segs {
+		f, err := os.Open(l.segPath(seq))
+		if err != nil {
+			return fmt.Errorf("wal: replay: %w", err)
+		}
+		_, _, err = scanSegment(f, func(off int64, typ byte, payload []byte) error {
+			return fn(LSN{Seg: seq, Off: off}, typ, payload)
+		})
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("wal: replay segment %d: %w", seq, err)
+		}
+	}
+	return nil
+}
+
+// TruncateBefore removes sealed segments that end before lsn's segment —
+// i.e. whose every record precedes lsn. The segment containing lsn (and the
+// active segment) are always retained. It returns how many segments were
+// removed.
+func (l *Log) TruncateBefore(lsn LSN) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	removed := 0
+	kept := l.sealedSt[:0]
+	for _, s := range l.sealedSt {
+		if s.seq < lsn.Seg {
+			if err := os.Remove(l.segPath(s.seq)); err != nil {
+				return removed, fmt.Errorf("wal: retention: %w", err)
+			}
+			removed++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.sealedSt = kept
+	if removed > 0 {
+		l.syncDir()
+	}
+	return removed, nil
+}
+
+// Reset discards every record and restarts the log empty at segment 0 — the
+// agent spool truncates this way once everything pending has been acked.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.bw.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	for _, s := range l.sealedSt {
+		if err := os.Remove(l.segPath(s.seq)); err != nil {
+			return fmt.Errorf("wal: reset: %w", err)
+		}
+	}
+	if err := os.Remove(l.segPath(l.seq)); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	l.sealedSt = nil
+	l.records = 0
+	l.dirty = false
+	if err := l.openSegment(0); err != nil {
+		return err
+	}
+	return l.syncDir()
+}
+
+// Close flushes, syncs, and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	err := l.bw.Flush()
+	if serr := l.syncLocked(); err == nil {
+		err = serr
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.mu.Unlock()
+	if l.stopSync != nil {
+		close(l.stopSync)
+		<-l.syncDone
+	}
+	return err
+}
+
+// Segments returns how many segment files the log currently spans.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.sealedSt) + 1
+}
+
+// Bytes returns the total size of all live segments.
+func (l *Log) Bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.off
+	for _, s := range l.sealedSt {
+		n += s.bytes
+	}
+	return n
+}
+
+// Records returns how many records have been appended since Open (replayed
+// pre-existing records are not counted).
+func (l *Log) Records() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Torn returns how many bytes of torn tail Open truncated away.
+func (l *Log) Torn() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.torn
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
