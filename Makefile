@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench check fmt-check bench-smoke fuzz-smoke chaos crash report experiments clean
+.PHONY: all build vet test test-short bench check lint smuvet fmt-check bench-smoke fuzz-smoke chaos crash report experiments experiments-full clean
 
 all: build vet test
 
@@ -39,7 +39,24 @@ fuzz-smoke:
 	for t in FuzzDecodeHello FuzzDecodeBatch FuzzReadFrame; do \
 		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/proto || exit 1; \
 	done
-	$(GO) test -run '^$$' -fuzz '^FuzzReadWALRecord$$' -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzReadWALRecord$$' -fuzztime $(FUZZTIME) ./internal/wal || exit 1
+
+# The repo's own multichecker: determinism, shardmerge, guardedby, closeerr.
+# See DESIGN.md "Static analysis" for what each analyzer enforces and the
+# //smuvet:allow suppression syntax.
+smuvet:
+	$(GO) run ./cmd/smuvet ./...
+
+# Third-party linters are version-pinned and fetched on demand, so they only
+# run where the network is available (CI sets LINT_THIRD_PARTY=1); the
+# in-tree checks always run.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+lint: fmt-check vet smuvet
+ifeq ($(LINT_THIRD_PARTY),1)
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+endif
 
 # Chaos soak: agents push batches through every fault mix under the race
 # detector, asserting exactly-once delivery end to end.
@@ -53,9 +70,9 @@ chaos:
 crash:
 	$(GO) test -race -run TestCrashRestartSoak -count=1 ./internal/faultnet
 
-# The full CI gate: formatting, vet, race-enabled tests, benchmark smoke,
-# fuzz smoke, chaos + kill-restart soaks.
-check: fmt-check vet
+# The full CI gate: lint (formatting, vet, smuvet), race-enabled tests,
+# benchmark smoke, fuzz smoke, chaos + kill-restart soaks.
+check: lint
 	$(GO) test -race ./...
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz-smoke

@@ -1,0 +1,116 @@
+// Command smuvet is the repo's domain-specific multichecker: it loads the
+// packages named by its arguments (default ./...) and runs the four
+// invariant analyzers — determinism, shardmerge, guardedby, closeerr — over
+// them, printing vet-style file:line:col diagnostics.
+//
+// Usage:
+//
+//	smuvet [-json] [-list] [packages...]
+//
+// Exit status is 0 when the tree is clean, 1 when any diagnostic is
+// reported, and 2 when loading or type-checking fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"smartusage/internal/smuvet"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON (per package, per analyzer)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: smuvet [-json] [-list] [packages...]\n\nAnalyzers:\n")
+		for _, a := range smuvet.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range smuvet.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(run(patterns, *jsonOut))
+}
+
+// jsonDiag is one diagnostic in -json output, keyed like `go vet -json`:
+// {"pkgpath": {"analyzer": [{posn, message}]}}.
+type jsonDiag struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+func run(patterns []string, jsonOut bool) int {
+	pkgs, err := smuvet.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	analyzers := smuvet.All()
+	status := 0
+	byPkg := make(map[string]map[string][]jsonDiag)
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			for _, e := range pkg.Errors {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", pkg.PkgPath, e)
+			}
+			status = 2
+			continue
+		}
+		diags, err := smuvet.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		for _, d := range diags {
+			if status == 0 {
+				status = 1
+			}
+			posn := pkg.Fset.Position(d.Pos)
+			if jsonOut {
+				m := byPkg[pkg.PkgPath]
+				if m == nil {
+					m = make(map[string][]jsonDiag)
+					byPkg[pkg.PkgPath] = m
+				}
+				m[d.Analyzer] = append(m[d.Analyzer], jsonDiag{
+					Posn:    posn.String(),
+					Message: d.Message,
+				})
+			} else {
+				fmt.Printf("%s: %s: %s\n", posn, d.Analyzer, d.Message)
+			}
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		// Deterministic order: marshal a sorted view.
+		paths := make([]string, 0, len(byPkg))
+		for p := range byPkg {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		out := make(map[string]map[string][]jsonDiag, len(byPkg))
+		for _, p := range paths {
+			out[p] = byPkg[p]
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	return status
+}

@@ -46,7 +46,7 @@ func (a *Agent) openSpool() error {
 	}
 	a.spool = log
 	if err := a.replaySpool(); err != nil {
-		log.Close()
+		log.Close() //smuvet:allow closeerr -- replay error is primary; nothing was written yet
 		return err
 	}
 	a.stats.Resumed = a.Pending()

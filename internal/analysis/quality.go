@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"sort"
+
 	"smartusage/internal/stats"
 	"smartusage/internal/trace"
 	"smartusage/internal/wifi"
@@ -34,6 +36,11 @@ func (p *Prep) RSSI() RSSIResult {
 			pub = append(pub, v)
 		}
 	}
+	// p.APs is a map: sort so the distributions are independent of
+	// iteration order (histogram/mean are order-insensitive today, but the
+	// sorted form keeps that true under future quantile use).
+	sort.Float64s(home)
+	sort.Float64s(pub)
 	pdf := func(xs []float64) []stats.Point {
 		if len(xs) == 0 {
 			return nil

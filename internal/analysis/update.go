@@ -131,6 +131,7 @@ func (u *UpdateTiming) Result() UpdateTimingResult {
 	}
 	sort.Float64s(r.DelaysDays)
 	sort.Float64s(r.DelaysDaysNoHome)
+	sort.Float64s(delaysHome)
 	if r.TotalIOS > 0 {
 		r.UpdatedFrac = float64(r.Updated) / float64(r.TotalIOS)
 	}

@@ -103,9 +103,10 @@ type Server struct {
 	stats Stats
 
 	mu      sync.Mutex
-	sink    Sink
-	devices map[trace.DeviceID]*deviceState
-	walBuf  []byte // batch-record scratch, reused under mu
+	sink    Sink                            // guarded by mu
+	devices map[trace.DeviceID]*deviceState // guarded by mu
+	// walBuf is batch-record scratch, reused across sessions. guarded by mu
+	walBuf []byte
 
 	sessionID atomic.Uint64
 
@@ -335,7 +336,7 @@ func (s *Server) handle(ctx context.Context, nc net.Conn) error {
 func (s *Server) beginSession(dev trace.DeviceID) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := s.device(dev)
+	st := s.deviceLocked(dev)
 	st.sessions++
 	if !st.haveLast {
 		return 0
@@ -343,8 +344,8 @@ func (s *Server) beginSession(dev trace.DeviceID) uint64 {
 	return st.lastBatch
 }
 
-// device returns the state for dev, creating it under s.mu.
-func (s *Server) device(dev trace.DeviceID) *deviceState {
+// deviceLocked returns the state for dev, creating it. Callers hold s.mu.
+func (s *Server) deviceLocked(dev trace.DeviceID) *deviceState {
 	st := s.devices[dev]
 	if st == nil {
 		st = &deviceState{}
@@ -381,7 +382,7 @@ func (s *Server) accept(dev trace.DeviceID, b *proto.Batch) (uint32, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Batches.Add(1)
-	st := s.device(dev)
+	st := s.deviceLocked(dev)
 	st.batches++
 	if st.haveLast && b.BatchID <= st.lastBatch {
 		s.stats.DupBatches.Add(1)

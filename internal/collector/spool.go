@@ -21,12 +21,12 @@ type RotatingSpool struct {
 	maxBytes int64
 
 	mu      sync.Mutex
-	seq     int
-	file    *os.File
-	writer  *trace.Writer
-	written int64
-	samples int64
-	closed  bool
+	seq     int           // guarded by mu
+	file    *os.File      // guarded by mu
+	writer  *trace.Writer // guarded by mu
+	written int64         // guarded by mu
+	samples int64         // guarded by mu
+	closed  bool          // guarded by mu
 }
 
 // NewRotatingSpool creates the directory if needed and opens the first
@@ -97,13 +97,13 @@ func (sp *RotatingSpool) finishLocked() error {
 		return nil
 	}
 	if err := sp.writer.Flush(); err != nil {
-		sp.file.Close()
+		sp.file.Close() //smuvet:allow closeerr -- flush error is primary; the segment is already lost
 		return err
 	}
 	// A finished segment is a durability boundary (WAL checkpoints build
 	// on it), so it must reach the platter, not just the page cache.
 	if err := sp.file.Sync(); err != nil {
-		sp.file.Close()
+		sp.file.Close() //smuvet:allow closeerr -- sync error is primary; the segment is already lost
 		return fmt.Errorf("collector: sync segment: %w", err)
 	}
 	if err := sp.file.Close(); err != nil {

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"smartusage/internal/proto"
 	"smartusage/internal/trace"
@@ -84,7 +85,16 @@ func appendCheckpoint(dst []byte, devices map[trace.DeviceID]*deviceState, sinkS
 	dst = binary.AppendUvarint(dst, uint64(len(sinkState)))
 	dst = append(dst, sinkState...)
 	dst = binary.AppendUvarint(dst, uint64(len(devices)))
-	for dev, st := range devices {
+	// Encode devices in sorted ID order: map iteration order would make
+	// checkpoint bytes differ between runs with identical state, defeating
+	// byte-level comparison of recovery artifacts.
+	ids := make([]trace.DeviceID, 0, len(devices))
+	for dev := range devices {
+		ids = append(ids, dev)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, dev := range ids {
+		st := devices[dev]
 		dst = binary.AppendUvarint(dst, uint64(dev))
 		var flags byte
 		if st.haveLast {
@@ -215,7 +225,7 @@ func (s *Server) Recover(restore func(sinkState []byte) error) (*Recovery, error
 		if err := decodeBatchRec(payload, &b); err != nil {
 			return err
 		}
-		st := s.device(b.dev)
+		st := s.deviceLocked(b.dev)
 		if st.haveLast && b.batchID <= st.lastBatch {
 			return nil
 		}

@@ -1,0 +1,186 @@
+package smuvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CloseErrAnalyzer protects the exactly-once crash-recovery guarantee (PR 3):
+// in the durability packages (wal, agent, collector, trace), the error from
+// Close or Sync on a writable file-like value must be checked. A dropped
+// close error there means data the caller believes durable may not be — the
+// class of bug the kill-restart soak can only catch when the crash timing
+// cooperates.
+//
+// Flagged: `x.Close()` / `x.Sync()` as a bare statement, in defer/go, or
+// with the result assigned only to blanks, when x is an *os.File or a named
+// type from a durability package whose Close/Sync returns error. Files
+// provably opened read-only (assigned from os.Open in the same function) are
+// exempt, as are sites carrying //smuvet:allow closeerr -- reason (the
+// error-path pattern, where a primary error already supersedes the close).
+var CloseErrAnalyzer = &Analyzer{
+	Name: "closeerr",
+	Doc: "require Close/Sync errors on writable files in wal, agent, " +
+		"collector, and trace to be checked",
+	Run: runCloseErr,
+}
+
+// closeErrPackages are the durability packages under the rule.
+var closeErrPackages = map[string]bool{
+	"wal": true, "agent": true, "collector": true, "trace": true,
+}
+
+func runCloseErr(pass *Pass) error {
+	if pass.Pkg == nil || !closeErrPackages[pathBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 && allBlank(n.Lhs) {
+					call, _ = ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+				}
+			}
+			if call != nil {
+				checkDiscardedClose(pass, file, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+func checkDiscardedClose(pass *Pass, file *ast.File, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if name != "Close" && name != "Sync" {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !returnsError(sig) {
+		return
+	}
+	recvType := pass.TypesInfo.Types[sel.X].Type
+	if recvType == nil || !isDurableType(recvType) {
+		return
+	}
+	if openedReadOnly(pass, file, sel.X) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s.%s error discarded: on a writable file this can silently lose acknowledged data; check it (or //smuvet:allow closeerr -- reason on error paths)",
+		exprString(sel.X), name)
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() != 1 {
+		return false
+	}
+	named, ok := res.At(0).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// isDurableType reports whether t (possibly behind pointers) is *os.File or
+// a named type declared in one of the durability packages.
+func isDurableType(t types.Type) bool {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if path == "os" && obj.Name() == "File" {
+		return true
+	}
+	return closeErrPackages[pathBase(path)]
+}
+
+// openedReadOnly reports whether recv is a local variable assigned from
+// os.Open (read-only) in the same function — closing a read handle cannot
+// lose data, so those sites stay silent.
+func openedReadOnly(pass *Pass, file *ast.File, recv ast.Expr) bool {
+	id, ok := ast.Unparen(recv).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	fd := enclosingFunc([]*ast.File{file}, id.Pos())
+	if fd == nil || obj.Pos() < fd.Pos() || obj.Pos() > fd.End() {
+		return false
+	}
+	readOnly := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if readOnly {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || pass.TypesInfo.Defs[lid] != obj {
+				continue
+			}
+			// os.Open returns two values assigned as f, err := os.Open(...),
+			// so the RHS is a single call whatever i is.
+			rhs := as.Rhs[0]
+			if len(as.Rhs) > i && len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			}
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Uses[calleeIdent(call)].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "os" && fn.Name() == "Open" {
+				readOnly = true
+				return false
+			}
+		}
+		return true
+	})
+	return readOnly
+}

@@ -1,0 +1,330 @@
+package smuvet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterminismAnalyzer enforces the bit-reproducibility rule of DESIGN.md:
+// inside the simulation and analysis packages, results must be a pure
+// function of the seed. It flags three nondeterminism sources:
+//
+//  1. wall-clock reads and timers (time.Now, time.Since, time.Sleep,
+//     tickers, ...) — simulated time must come from the trace/clock hooks;
+//  2. the global math/rand generator (rand.Intn, rand.Float64, ...) —
+//     randomness must flow through a seeded *rand.Rand;
+//  3. iteration over a map that feeds ordered output: an append to a slice
+//     that outlives the loop with no subsequent sort of that slice, or an
+//     order-sensitive emission (Write*/Encode*/Append*/Fprint*/Merge)
+//     inside the loop body.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "flag wall-clock reads, global math/rand, and map-iteration-order " +
+		"dependent output in the simulation and analysis packages",
+	Run: runDeterminism,
+}
+
+// determinismPackages are the package basenames under the determinism rule:
+// everything between the seed and the published statistics.
+var determinismPackages = map[string]bool{
+	"sim": true, "population": true, "mobility": true, "wifi": true,
+	"cellular": true, "apps": true, "analysis": true, "stats": true,
+	"macro": true,
+}
+
+// wallClockFuncs are the time-package functions that read the wall clock or
+// schedule against it. Pure conversions (time.Unix, time.Date) and types
+// (time.Time, time.Duration) stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// randConstructors are the math/rand functions that are fine to call at
+// package level: they build seeded generators rather than consuming the
+// global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// orderedEmitNames are callee names that emit or fold values in call order,
+// so calling them once per map iteration bakes map order into the result.
+var orderedEmitNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true, "Merge": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if pass.Pkg == nil || !determinismPackages[pathBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNondeterministicCall(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapOrder(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves a call to the *types.Func it invokes, or nil.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func checkNondeterministicCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] && fn.Type().(*types.Signature).Recv() == nil {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock: simulation output must be a pure function of the seed (use the simulated clock / trace timestamps)",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return // methods on a seeded *rand.Rand are the approved path
+		}
+		if randConstructors[fn.Name()] {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"%s.%s draws from the global generator: use a seeded *rand.Rand so runs reproduce bit-for-bit",
+			pathBase(fn.Pkg().Path()), fn.Name())
+	}
+}
+
+// checkMapOrder walks one function looking for range-over-map loops whose
+// body leaks iteration order into ordered output.
+func checkMapOrder(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, fd, rs)
+		return true
+	})
+}
+
+func checkMapRangeBody(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if b, ok := pass.TypesInfo.Uses[calleeIdent(call)].(*types.Builtin); ok && b.Name() == "append" {
+					checkAppendInMapRange(pass, fd, rs, call)
+				} else if fn := calleeFunc(pass, call); fn != nil && strings.HasPrefix(fn.Name(), "Append") {
+					// Encoder-style append helpers (binary.AppendUvarint,
+					// trace.AppendSample, ...) are order-sensitive exactly
+					// like the builtin.
+					checkAppendInMapRange(pass, fd, rs, call)
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pass, n)
+			if fn == nil {
+				return true
+			}
+			name := fn.Name()
+			if orderedEmitNames[name] {
+				pass.Reportf(n.Pos(),
+					"%s inside a map-range loop emits in map iteration order, which varies run to run: iterate sorted keys instead",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// calleeIdent returns the identifier a call invokes, unwrapping selectors.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+// checkAppendInMapRange flags `dst = append(dst, ...)` inside a map-range
+// body when dst is declared outside the loop and is not sorted afterwards in
+// the same function. Appending the keys and sorting after the loop is the
+// approved pattern and stays silent.
+func checkAppendInMapRange(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := rootObject(pass, call.Args[0])
+	if dst == nil {
+		return
+	}
+	// Destination declared inside the loop body: order cannot escape the
+	// iteration (e.g. a per-iteration scratch slice).
+	if dst.Pos() >= rs.Pos() && dst.Pos() < rs.End() {
+		return
+	}
+	if sortedAfter(pass, fd, rs, dst) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"append to %q inside a map-range loop bakes map iteration order into it and no sort follows in this function: sort the keys (or the result) to make output deterministic",
+		dst.Name())
+}
+
+// rootObject resolves an expression like x, x.f, x[i] to the object of its
+// leftmost identifier (for selectors: the field/var actually appended to).
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		return rootObject(pass, e.Sel)
+	case *ast.IndexExpr:
+		return rootObject(pass, e.X)
+	}
+	return nil
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// function sorts dst — either directly (dst passed to a sort.* / slices.*
+// call) or through the map-of-slices idiom: a later range whose operand
+// involves dst and whose body sorts the range variable, as in
+//
+//	for _, days := range byDay { sort.Slice(days, ...) }
+//	for _, xs := range [][]float64{v.RX, v.TX} { sort.Float64s(xs) }
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, dst types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if n.Pos() < rs.End() || !isSortCall(pass, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if mentions(pass, arg, dst) {
+					found = true
+					return false
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Pos() < rs.End() || n.X == nil || !mentions(pass, n.X, dst) {
+				return true
+			}
+			if sortsRangeVar(pass, n) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall reports whether call invokes a function from package sort or
+// slices.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort", "slices":
+		return true
+	}
+	return false
+}
+
+// sortsRangeVar reports whether the body of rs contains a sort.* / slices.*
+// call over one of the loop's own key/value variables.
+func sortsRangeVar(pass *Pass, rs *ast.RangeStmt) bool {
+	var vars []types.Object
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				vars = append(vars, obj)
+			}
+		}
+	}
+	if len(vars) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			for _, v := range vars {
+				if mentions(pass, arg, v) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentions reports whether expr references obj anywhere.
+func mentions(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

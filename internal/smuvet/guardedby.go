@@ -1,0 +1,257 @@
+package smuvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedByAnalyzer checks mutex discipline declared in struct comments:
+// a field annotated
+//
+//	foo T // guarded by mu
+//
+// (where mu is a sync.Mutex or sync.RWMutex field of the same struct) may
+// only be read or written where the guard is visibly held. An access is
+// considered guarded when one of these holds:
+//
+//   - the enclosing function calls <base>.mu.Lock() or <base>.mu.RLock() on
+//     the same base expression lexically before the access;
+//   - the enclosing function's name ends in "Locked" (the repo's convention
+//     for "caller must hold the lock");
+//   - the base value was created in the same function by a composite
+//     literal, so it has not escaped to another goroutine yet (constructor
+//     pattern).
+//
+// This is a lexical approximation, not a race detector — it catches the
+// structural mistakes (a new accessor forgetting the lock) that the chaos
+// soaks only hit probabilistically. Suppress deliberate exceptions with
+// //smuvet:allow guardedby -- reason.
+var GuardedByAnalyzer = &Analyzer{
+	Name: "guardedby",
+	Doc: "check that struct fields annotated `// guarded by mu` are only " +
+		"accessed with the mutex visibly held (Lock/RLock on the path, a " +
+		"*Locked function, or a not-yet-shared literal)",
+	Run: runGuardedBy,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedField records one annotated field and its guard.
+type guardedField struct {
+	structName string
+	muName     string
+}
+
+func runGuardedBy(pass *Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	guards := collectGuardedFields(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			fieldObj, ok := selection.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			gf, guarded := guards[fieldObj]
+			if !guarded {
+				return true
+			}
+			checkGuardedAccess(pass, file, sel, fieldObj, gf)
+			return true
+		})
+	}
+	return nil
+}
+
+// collectGuardedFields finds `// guarded by mu` annotations on struct
+// fields, validating that the named guard is a sibling sync.Mutex/RWMutex.
+func collectGuardedFields(pass *Pass) map[*types.Var]guardedField {
+	guards := make(map[*types.Var]guardedField)
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			muFields := make(map[string]bool)
+			for _, f := range st.Fields.List {
+				if t, ok := pass.TypesInfo.Types[f.Type]; ok && isMutexType(t.Type) {
+					for _, name := range f.Names {
+						muFields[name.Name] = true
+					}
+				}
+			}
+			for _, f := range st.Fields.List {
+				mu := annotationGuard(f)
+				if mu == "" {
+					continue
+				}
+				if !muFields[mu] {
+					pass.Reportf(f.Pos(),
+						"field is annotated `guarded by %s` but %s is not a sync.Mutex/RWMutex field of %s",
+						mu, mu, ts.Name.Name)
+					continue
+				}
+				for _, name := range f.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[obj] = guardedField{structName: ts.Name.Name, muName: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// annotationGuard extracts the guard name from a field's line or doc
+// comment.
+func annotationGuard(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Comment, f.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// isMutexType reports whether t is sync.Mutex, sync.RWMutex, or a pointer to
+// one.
+func isMutexType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func checkGuardedAccess(pass *Pass, file *ast.File, sel *ast.SelectorExpr, fieldObj *types.Var, gf guardedField) {
+	fd := enclosingFunc([]*ast.File{file}, sel.Pos())
+	if fd == nil {
+		return // package-level initializer; nothing concurrent yet
+	}
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	base := exprString(sel.X)
+	if lockHeldBefore(fd, base, gf.muName, sel.Pos()) {
+		return
+	}
+	if locallyConstructed(pass, fd, sel.X) {
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"%s.%s is guarded by %s but no %s.%s.Lock/RLock is visible before this access in %s (hold the lock, or name the function *Locked if the caller must)",
+		gf.structName, fieldObj.Name(), gf.muName, base, gf.muName, fd.Name.Name)
+}
+
+// lockHeldBefore reports whether fd's body contains base.mu.Lock() or
+// base.mu.RLock() lexically before target.
+func lockHeldBefore(fd *ast.FuncDecl, base, muName string, target token.Pos) bool {
+	held := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.End() > target {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != muName {
+			return true
+		}
+		if exprString(muSel.X) == base {
+			held = true
+			return false
+		}
+		return true
+	})
+	return held
+}
+
+// locallyConstructed reports whether the base expression resolves to a
+// variable that fd itself initialized from a composite literal — the
+// constructor pattern, where the value cannot be shared yet.
+func locallyConstructed(pass *Pass, fd *ast.FuncDecl, baseExpr ast.Expr) bool {
+	id, ok := ast.Unparen(baseExpr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || obj.Pos() < fd.Pos() || obj.Pos() > fd.End() {
+		return false
+	}
+	isLiteral := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if ue, ok := e.(*ast.UnaryExpr); ok {
+			e = ast.Unparen(ue.X)
+		}
+		_, ok := e.(*ast.CompositeLit)
+		return ok
+	}
+	constructed := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if constructed {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if ok && pass.TypesInfo.Defs[lid] == obj && i < len(n.Rhs) && isLiteral(n.Rhs[i]) {
+					constructed = true
+					return false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.TypesInfo.Defs[name] == obj && i < len(n.Values) && isLiteral(n.Values[i]) {
+					constructed = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return constructed
+}

@@ -1,0 +1,194 @@
+package smuvet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked analysis unit. When a package has
+// in-package test files, the test variant is loaded (its file set is a
+// superset of the plain package), so analyzers can see both the shipped code
+// and the test tables that exercise it.
+type Package struct {
+	// PkgPath is the plain import path (test-variant decoration stripped).
+	PkgPath string
+	// Name is the package name.
+	Name string
+	// HasTests reports whether _test.go files are included.
+	HasTests bool
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	// Errors holds parse/type errors. Analyzers still run on partially
+	// checked packages; the driver reports these separately.
+	Errors []error
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath      string
+	Name            string
+	Dir             string
+	Export          string
+	CompiledGoFiles []string
+	Standard        bool
+	ForTest         string
+	DepOnly         bool
+	Incomplete      bool
+	Error           *struct{ Err string }
+}
+
+// Load lists patterns with the go command (test variants and export data
+// included), parses every target package from source, and type-checks it
+// against the export data of its dependencies. It needs no network: export
+// data comes from the local build cache.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := []string{
+		"list", "-e", "-deps", "-test", "-export", "-compiled",
+		"-json=ImportPath,Name,Dir,Export,CompiledGoFiles,Standard,ForTest,DepOnly,Incomplete,Error",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("smuvet: go list: %v\n%s", err, stderr.String())
+	}
+
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("smuvet: go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	// Export data for every dependency, keyed by plain import path. Test
+	// variants of a package shadow the plain entry only for the packages
+	// that import them, which cannot happen here (nothing imports a test
+	// variant), so plain entries win.
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export == "" || strings.Contains(p.ImportPath, " ") {
+			continue
+		}
+		exports[p.ImportPath] = p.Export
+	}
+
+	// Pick targets: listed (non-dep) packages, preferring the in-package
+	// test variant over the plain package, skipping generated .test mains
+	// and external _test packages (their assertions don't host invariant
+	// tables and they'd duplicate positions).
+	targets := make(map[string]*listPackage)
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		base := p.ImportPath
+		if i := strings.Index(base, " "); i >= 0 {
+			base = base[:i]
+		}
+		if p.ForTest != "" && p.ForTest != base {
+			continue // external test package (pkg_test)
+		}
+		if cur := targets[base]; cur == nil || (cur.ForTest == "" && p.ForTest != "") {
+			targets[base] = p
+		}
+	}
+
+	paths := make([]string, 0, len(targets))
+	for path := range targets {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("smuvet: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var loaded []*Package
+	for _, path := range paths {
+		lp := targets[path]
+		pkg, err := typeCheck(fset, imp, path, lp)
+		if err != nil {
+			return nil, err
+		}
+		loaded = append(loaded, pkg)
+	}
+	return loaded, nil
+}
+
+// typeCheck parses and checks one listed package.
+func typeCheck(fset *token.FileSet, imp types.Importer, path string, lp *listPackage) (*Package, error) {
+	pkg := &Package{
+		PkgPath:  path,
+		Name:     lp.Name,
+		HasTests: lp.ForTest != "",
+		Fset:     fset,
+	}
+	if lp.Error != nil {
+		pkg.Errors = append(pkg.Errors, fmt.Errorf("%s: %s", path, lp.Error.Err))
+	}
+	for _, name := range lp.CompiledGoFiles {
+		if !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			pkg.Errors = append(pkg.Errors, err)
+			continue
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			pkg.Errors = append(pkg.Errors, err)
+		},
+	}
+	tpkg, _ := conf.Check(path, fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	return pkg, nil
+}

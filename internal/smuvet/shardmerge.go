@@ -1,0 +1,168 @@
+package smuvet
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// ShardMergeAnalyzer guards the parallel analysis engine's contract (PR 1):
+// every concrete type implementing the package's Analyzer interface must
+//
+//  1. also implement ShardedAnalyzer (NewShard/Merge), so it cannot silently
+//     degrade RunParallel to the sequential path, and
+//  2. appear in a []Analyzer table inside the package's tests — the
+//     parallel-equivalence suite — so the sharded == sequential property is
+//     actually exercised for it.
+//
+// The analyzer activates in any package that declares both interfaces
+// (today: internal/analysis). Types declared in _test.go files are exempt —
+// tests build deliberately unshardable analyzers to cover the fallback path.
+var ShardMergeAnalyzer = &Analyzer{
+	Name: "shardmerge",
+	Doc: "require every Analyzer implementation to implement ShardedAnalyzer " +
+		"and to appear in the parallel-equivalence test table",
+	Run: runShardMerge,
+}
+
+func runShardMerge(pass *Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	analyzerIface := localInterface(pass, "Analyzer")
+	shardedIface := localInterface(pass, "ShardedAnalyzer")
+	if analyzerIface == nil || shardedIface == nil {
+		return nil
+	}
+
+	// Concrete named types declared outside test files that implement
+	// Analyzer.
+	type impl struct {
+		name string
+		obj  types.Object
+		pos  ast.Node
+	}
+	var impls []impl
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				if types.IsInterface(named) {
+					continue
+				}
+				if !implements(named, analyzerIface) {
+					continue
+				}
+				if !implements(named, shardedIface) {
+					pass.Reportf(ts.Pos(),
+						"%s implements Analyzer but not ShardedAnalyzer (NewShard/Merge): it silently drops RunParallel/RunShards to the sequential path",
+						obj.Name())
+				}
+				impls = append(impls, impl{name: obj.Name(), obj: obj, pos: ts})
+			}
+		}
+	}
+	if len(impls) == 0 {
+		return nil
+	}
+
+	// The equivalence table: the union of concrete element types of every
+	// []Analyzer composite literal in the package's test files. Without test
+	// files in the pass there is nothing to compare against, so the check is
+	// skipped (the driver loads test variants whenever they exist).
+	sliceOfAnalyzer := types.NewSlice(analyzerIface.obj.Type())
+	tableTypes := make(map[string]bool)
+	sawTests, sawTable := false, false
+	for _, file := range pass.Files {
+		if !pass.InTestFile(file.Pos()) {
+			continue
+		}
+		sawTests = true
+		ast.Inspect(file, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[cl]
+			if !ok || !types.Identical(tv.Type, sliceOfAnalyzer) {
+				return true
+			}
+			sawTable = true
+			for _, el := range cl.Elts {
+				etv, ok := pass.TypesInfo.Types[el]
+				if !ok || etv.Type == nil {
+					continue
+				}
+				t := etv.Type
+				if p, ok := t.Underlying().(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if named, ok := t.(*types.Named); ok {
+					tableTypes[named.Obj().Name()] = true
+				}
+			}
+			return true
+		})
+	}
+	if !sawTests {
+		return nil
+	}
+	if !sawTable {
+		pass.Reportf(impls[0].pos.Pos(),
+			"package declares Analyzer implementations but its tests build no []Analyzer table: the parallel-equivalence suite covers nothing")
+		return nil
+	}
+	sort.Slice(impls, func(i, j int) bool { return impls[i].name < impls[j].name })
+	for _, im := range impls {
+		if !tableTypes[im.name] {
+			pass.Reportf(im.pos.Pos(),
+				"%s is missing from every []Analyzer table in this package's tests: add it to the parallel-equivalence battery so sharded == sequential is checked for it",
+				im.name)
+		}
+	}
+	return nil
+}
+
+// localIface pairs the interface type with its defining object.
+type localIface struct {
+	obj   types.Object
+	iface *types.Interface
+}
+
+// localInterface finds an interface named name declared at package scope in
+// a non-test file.
+func localInterface(pass *Pass, name string) *localIface {
+	obj := pass.Pkg.Scope().Lookup(name)
+	if obj == nil || pass.InTestFile(obj.Pos()) {
+		return nil
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	return &localIface{obj: obj, iface: iface}
+}
+
+// implements reports whether named (by value or pointer) satisfies li.
+func implements(named *types.Named, li *localIface) bool {
+	return types.Implements(named, li.iface) ||
+		types.Implements(types.NewPointer(named), li.iface)
+}

@@ -1,0 +1,289 @@
+// Package smuvet is the repo's domain-specific static-analysis framework: a
+// small, dependency-free mirror of the golang.org/x/tools/go/analysis API
+// (which this module cannot vendor) plus the four analyzers that turn the
+// codebase's soak-tested invariants into compile-time gates:
+//
+//   - determinism: no wall clock, global math/rand, or map-iteration-order
+//     dependent output inside the simulation and analysis packages.
+//   - shardmerge: every Analyzer implementation must be a ShardedAnalyzer
+//     and appear in the parallel-equivalence test table.
+//   - guardedby: struct fields annotated `// guarded by mu` may only be
+//     accessed where the mutex is visibly held.
+//   - closeerr: Close/Sync results on writable files in the durability
+//     packages (wal, agent, collector, trace) must be checked.
+//
+// A finding can be suppressed at a specific site with
+//
+//	//smuvet:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// on the flagged line, the line above it, or in the enclosing function's doc
+// comment. The reason is mandatory; a malformed allow comment is itself a
+// diagnostic.
+package smuvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer closely enough that porting to the
+// real framework is mechanical should the dependency become available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow comments.
+	Name string
+	// Doc is the one-paragraph description shown by `smuvet -help`.
+	Doc string
+	// Run performs the check, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass presents one package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Analyzers whose
+// invariants target shipped code (determinism, guardedby, closeerr) skip
+// such positions; shardmerge instead uses them to find the equivalence
+// table.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// All returns the full analyzer suite in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		ShardMergeAnalyzer,
+		GuardedByAnalyzer,
+		CloseErrAnalyzer,
+	}
+}
+
+// allowRe matches a well-formed suppression comment.
+var allowRe = regexp.MustCompile(`^//smuvet:allow\s+([a-z][a-z0-9]*(?:\s*,\s*[a-z][a-z0-9]*)*)\s+--\s+\S`)
+
+// allowPrefix is how every suppression attempt starts, well-formed or not.
+const allowPrefix = "//smuvet:allow"
+
+// allowIndex resolves suppression comments for one package.
+type allowIndex struct {
+	fset *token.FileSet
+	// byLine maps file -> line -> analyzer names allowed on that line.
+	byLine map[string]map[int]map[string]bool
+	// funcs maps a function body range to the analyzers its doc allows.
+	funcs []funcAllow
+	// malformed records allow comments missing the `-- reason` part.
+	malformed []token.Pos
+}
+
+type funcAllow struct {
+	pos, end token.Pos
+	names    map[string]bool
+}
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	ai := &allowIndex{fset: fset, byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if names == nil {
+					continue
+				}
+				if !ok {
+					ai.malformed = append(ai.malformed, c.Pos())
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := ai.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					ai.byLine[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				for n := range names {
+					set[n] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			names := make(map[string]bool)
+			for _, c := range fd.Doc.List {
+				if ns, ok := parseAllow(c.Text); ok {
+					for n := range ns {
+						names[n] = true
+					}
+				}
+			}
+			if len(names) > 0 {
+				ai.funcs = append(ai.funcs, funcAllow{pos: fd.Body.Pos(), end: fd.Body.End(), names: names})
+			}
+		}
+	}
+	return ai
+}
+
+// parseAllow extracts the analyzer names from an allow comment. The second
+// result is false when the comment is an allow attempt but malformed
+// (missing names or the mandatory `-- reason`); a (nil, true) return means
+// the comment is not an allow comment at all.
+func parseAllow(text string) (map[string]bool, bool) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return nil, true
+	}
+	m := allowRe.FindStringSubmatch(text)
+	if m == nil {
+		return map[string]bool{}, false
+	}
+	names := make(map[string]bool)
+	for _, n := range strings.Split(m[1], ",") {
+		names[strings.TrimSpace(n)] = true
+	}
+	return names, true
+}
+
+// suppressed reports whether d is covered by an allow comment.
+func (ai *allowIndex) suppressed(d Diagnostic) bool {
+	pos := ai.fset.Position(d.Pos)
+	if lines := ai.byLine[pos.Filename]; lines != nil {
+		if lines[pos.Line][d.Analyzer] || lines[pos.Line-1][d.Analyzer] {
+			return true
+		}
+	}
+	for _, fa := range ai.funcs {
+		if fa.names[d.Analyzer] && fa.pos <= d.Pos && d.Pos < fa.end {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies analyzers to pkg, filters findings through the
+// package's allow comments, and returns the surviving diagnostics sorted by
+// position. Malformed allow comments are reported under the pseudo-analyzer
+// name "allow".
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ai := buildAllowIndex(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			report: func(d Diagnostic) {
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ai.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	for _, pos := range ai.malformed {
+		kept = append(kept, Diagnostic{
+			Pos:      pos,
+			Analyzer: "allow",
+			Message:  "malformed smuvet:allow comment: want //smuvet:allow <analyzer>[,<analyzer>] -- <reason>",
+		})
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(kept[i].Pos), pkg.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// pathBase returns the last element of an import path.
+func pathBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// enclosingFunc returns the innermost FuncDecl whose body contains pos.
+func enclosingFunc(files []*ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, f := range files {
+		if pos < f.Pos() || pos >= f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil && fd.Body.Pos() <= pos && pos < fd.Body.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// exprString renders a (simple) expression as source-like text, for
+// comparing lock receivers against field-access bases. Anything beyond
+// identifier/selector/star/index/paren chains renders as a position-tagged
+// opaque string, which simply never matches.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	default:
+		return fmt.Sprintf("<expr@%d>", e.Pos())
+	}
+}

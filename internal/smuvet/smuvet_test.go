@@ -1,0 +1,39 @@
+package smuvet_test
+
+import (
+	"testing"
+
+	"smartusage/internal/smuvet"
+	"smartusage/internal/smuvet/smuvettest"
+)
+
+// Each analyzer runs alone over its fixture package, so an unexpected
+// diagnostic from one analyzer cannot be absorbed by another's want.
+
+func TestDeterminism(t *testing.T) {
+	smuvettest.Run(t, ".", []*smuvet.Analyzer{smuvet.DeterminismAnalyzer}, "./testdata/src/sim")
+}
+
+func TestShardMerge(t *testing.T) {
+	smuvettest.Run(t, ".", []*smuvet.Analyzer{smuvet.ShardMergeAnalyzer}, "./testdata/src/analysis")
+}
+
+func TestGuardedBy(t *testing.T) {
+	smuvettest.Run(t, ".", []*smuvet.Analyzer{smuvet.GuardedByAnalyzer}, "./testdata/src/guarded")
+}
+
+func TestCloseErr(t *testing.T) {
+	smuvettest.Run(t, ".", []*smuvet.Analyzer{smuvet.CloseErrAnalyzer}, "./testdata/src/wal")
+}
+
+// TestAllAnalyzers runs the full suite over every fixture at once: the scope
+// rules must keep each analyzer silent outside its own fixture, so the same
+// want set still matches exactly.
+func TestAllAnalyzers(t *testing.T) {
+	smuvettest.Run(t, ".", smuvet.All(),
+		"./testdata/src/sim",
+		"./testdata/src/analysis",
+		"./testdata/src/guarded",
+		"./testdata/src/wal",
+	)
+}

@@ -1,0 +1,140 @@
+// Package smuvettest runs smuvet analyzers over fixture packages and checks
+// their diagnostics against `want` comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest (which this module cannot
+// depend on).
+//
+// A fixture file marks each expected diagnostic with a comment on the same
+// line containing the word `want` followed by one or more quoted regular
+// expressions:
+//
+//	keys = append(keys, k) // want `append to "keys" inside a map-range loop`
+//
+// Every diagnostic must be claimed by a matching want on its line, and every
+// want must be claimed by a diagnostic; anything unmatched fails the test.
+// The pattern is matched against both the bare message and the
+// "analyzer: message" form, so expectations can pin the analyzer name. The
+// word `want` may appear anywhere in the comment, so expectations can ride
+// inside deliberately malformed //smuvet:allow comments.
+package smuvettest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"smartusage/internal/smuvet"
+)
+
+// A want is one expectation: a pattern that must match a diagnostic reported
+// on its line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var (
+	// wantRe finds a want marker and its quoted patterns inside a comment.
+	wantRe = regexp.MustCompile("want((?:\\s+(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"))+)")
+	// wantArgRe splits the individual quoted patterns back out.
+	wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+// Run loads the fixture packages named by patterns (relative to dir, the
+// directory go list runs in), applies analyzers, and compares the resulting
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, dir string, analyzers []*smuvet.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := smuvet.Load(dir, patterns)
+	if err != nil {
+		t.Fatalf("load %v: %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("load %v: no packages matched", patterns)
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			t.Errorf("%s: %v", pkg.PkgPath, e)
+		}
+		if len(pkg.Errors) > 0 {
+			continue
+		}
+		diags, err := smuvet.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath, err)
+		}
+		wants := collectWants(t, pkg)
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if !claim(wants, pos, d) {
+				t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.hit {
+				t.Errorf("%s:%d: no diagnostic matched want %s", w.file, w.line, w.raw)
+			}
+		}
+	}
+}
+
+// claim marks the first unclaimed want on the diagnostic's line whose pattern
+// matches, reporting whether one was found.
+func claim(wants []*want, pos token.Position, d smuvet.Diagnostic) bool {
+	for _, w := range wants {
+		if w.hit || w.file != pos.Filename || w.line != pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) || w.re.MatchString(d.Analyzer+": "+d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts every want expectation from the package's comments.
+func collectWants(t *testing.T, pkg *smuvet.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range wantArgRe.FindAllString(m[1], -1) {
+					pat, err := unquote(arg)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, arg, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %s: %v", pos, arg, err)
+					}
+					wants = append(wants, &want{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   re,
+						raw:  arg,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// unquote strips backquotes or interprets a double-quoted Go string.
+func unquote(s string) (string, error) {
+	if strings.HasPrefix(s, "`") {
+		return s[1 : len(s)-1], nil
+	}
+	return strconv.Unquote(s)
+}

@@ -1,0 +1,22 @@
+package analysis
+
+import "testing"
+
+// fallback is declared in a test file: such types are exempt from the
+// shardmerge rule because tests build deliberately unshardable analyzers to
+// exercise the sequential fallback path.
+type fallback struct{ n int }
+
+func (f *fallback) Add(v int) { f.n += v }
+
+func TestEquivalence(t *testing.T) {
+	table := []Analyzer{&Good{}, &NoShard{}}
+	for _, a := range table {
+		a.Add(1)
+	}
+	f := &fallback{}
+	f.Add(1)
+	if f.n != 1 {
+		t.Fatal("fallback broken")
+	}
+}

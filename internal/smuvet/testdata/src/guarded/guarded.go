@@ -1,0 +1,73 @@
+// Package guarded is a smuvet guardedby fixture. It is compiled only by the
+// analyzer tests.
+package guarded
+
+import "sync"
+
+// Counter is a mutex-guarded counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Bad reads n without holding the lock.
+func (c *Counter) Bad() int {
+	return c.n // want `Counter\.n is guarded by mu`
+}
+
+// Good locks before reading.
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// bumpLocked relies on the *Locked naming convention: the caller holds mu.
+func (c *Counter) bumpLocked() { c.n++ }
+
+// Bump is a locked wrapper so bumpLocked is used.
+func (c *Counter) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked()
+}
+
+// NewCounter touches n freely: the literal has not escaped yet.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	return c
+}
+
+// Allowed documents a deliberate unlocked read.
+func (c *Counter) Allowed() int {
+	return c.n //smuvet:allow guardedby -- fixture: racy snapshot is acceptable here
+}
+
+// Registry is guarded by a read-write mutex.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+// Get holds the read lock, which counts as held.
+func (r *Registry) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+// Len forgets the lock.
+func (r *Registry) Len() int {
+	return len(r.m) // want `Registry\.m is guarded by mu`
+}
+
+// Broken names a guard that is not a mutex field.
+type Broken struct {
+	mu int
+	x  int // guarded by mu; want `guarded by mu.*not a sync\.Mutex/RWMutex field`
+}
+
+// Touch keeps Broken's fields in use; x carries an invalid annotation, so
+// accesses to it are not checked.
+func (b *Broken) Touch() int { return b.mu + b.x }

@@ -1,0 +1,117 @@
+// Package sim is a smuvet determinism fixture: its import-path basename puts
+// it in the analyzer's scope. It is compiled only by the analyzer tests.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// WallClock reads the wall clock directly.
+func WallClock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// Elapsed measures against the wall clock.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// Convert uses only pure time conversions, which stay legal.
+func Convert(unix int64) time.Time {
+	return time.Unix(unix, 0)
+}
+
+// GlobalRand draws from the global generator.
+func GlobalRand() int {
+	return rand.Intn(6) // want `rand\.Intn draws from the global generator`
+}
+
+// SeededRand draws from an injected seeded generator, the approved path.
+func SeededRand(rng *rand.Rand) int {
+	return rng.Intn(6)
+}
+
+// NewGenerator builds a seeded generator; constructors are exempt.
+func NewGenerator(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// KeysUnsorted bakes map iteration order into its result.
+func KeysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside a map-range loop`
+	}
+	return keys
+}
+
+// KeysSorted collects then sorts: the approved pattern.
+func KeysSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Regrouped sorts each bucket through a later range loop, the map-of-slices
+// idiom.
+func Regrouped(m map[string][]float64) map[string][]float64 {
+	out := make(map[string][]float64)
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	for _, vs := range out {
+		sort.Float64s(vs)
+	}
+	return out
+}
+
+// Emit writes inside a map-range loop, leaking iteration order downstream.
+func Emit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `Fprintf inside a map-range loop emits in map iteration order`
+	}
+}
+
+// Scratch appends only to a per-iteration slice; order cannot escape.
+func Scratch(m map[string][]byte) int {
+	n := 0
+	for _, v := range m {
+		var buf []byte
+		buf = append(buf, v...)
+		n += len(buf)
+	}
+	return n
+}
+
+// Allowed is suppressed by a same-line allow comment.
+func Allowed() time.Time {
+	return time.Now() //smuvet:allow determinism -- fixture: banner timestamp only
+}
+
+// AllowedAbove is suppressed by an allow comment on the previous line.
+func AllowedAbove() time.Time {
+	//smuvet:allow determinism -- fixture: banner timestamp only
+	return time.Now()
+}
+
+// AllowedFunc is suppressed for its whole body by its doc comment.
+//
+//smuvet:allow determinism -- fixture: this helper is deliberately wall-clock
+func AllowedFunc() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Malformed carries an allow comment with no `-- reason`, which suppresses
+// nothing and is itself reported.
+func Malformed() time.Time {
+	//smuvet:allow determinism want `malformed smuvet:allow comment`
+	return time.Now() // want `time\.Now reads the wall clock`
+}

@@ -1,0 +1,89 @@
+// Package wal is a smuvet closeerr fixture: its import-path basename puts it
+// in the durability scope. It is compiled only by the analyzer tests.
+package wal
+
+import "os"
+
+// Discarded drops the close error on a writable file.
+func Discarded(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	f.Close() // want `f\.Close error discarded`
+	return nil
+}
+
+// Deferred drops the close error in a defer.
+func Deferred(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `f\.Close error discarded`
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+// Blanked discards the close error into a blank identifier.
+func Blanked(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_ = f.Close() // want `f\.Close error discarded`
+	return nil
+}
+
+// ReadOnly closes a handle opened with os.Open: nothing to lose, exempt.
+func ReadOnly(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 1)
+	_, err = f.Read(buf)
+	return err
+}
+
+// Checked returns the close error: the approved pattern.
+func Checked(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Segment is a named durable type: declared in a durability package with
+// error-returning Close and Sync.
+type Segment struct{ dirty bool }
+
+// Sync implements the durability flush.
+func (s *Segment) Sync() error { s.dirty = false; return nil }
+
+// Close implements the durability close.
+func (s *Segment) Close() error { return s.Sync() }
+
+// NamedDiscarded drops both results on the named type.
+func NamedDiscarded(s *Segment) {
+	s.Sync()  // want `s\.Sync error discarded`
+	s.Close() // want `s\.Close error discarded`
+}
+
+// ErrorPath shows the sanctioned allow comment on an error path.
+func ErrorPath(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		f.Close() //smuvet:allow closeerr -- fixture: write error is primary
+		return err
+	}
+	return f.Close()
+}

@@ -135,15 +135,20 @@ type Log struct {
 	opts Options
 
 	mu       sync.Mutex
-	sealedSt []sealed
-	f        *os.File
-	bw       *bufio.Writer
-	seq      uint64 // current segment sequence
-	off      int64  // current segment size (bytes written incl. header)
-	records  int64
-	torn     int64 // bytes truncated during Open's tail repair
-	dirty    bool  // bytes flushed to the OS but not yet fsynced
-	closed   bool
+	sealedSt []sealed      // guarded by mu
+	f        *os.File      // guarded by mu
+	bw       *bufio.Writer // guarded by mu
+	// seq is the current segment sequence. guarded by mu
+	seq uint64
+	// off is the current segment size (bytes written incl. header).
+	// guarded by mu
+	off     int64
+	records int64 // guarded by mu
+	// torn counts bytes truncated during Open's tail repair. guarded by mu
+	torn int64
+	// dirty marks bytes flushed to the OS but not yet fsynced. guarded by mu
+	dirty  bool
+	closed bool // guarded by mu
 
 	stopSync chan struct{} // interval-policy syncer
 	syncDone chan struct{}
@@ -168,7 +173,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, err
 	}
 	if len(seqs) == 0 {
-		if err := l.openSegment(0); err != nil {
+		if err := l.openSegmentLocked(0); err != nil {
 			return nil, err
 		}
 	} else {
@@ -236,7 +241,14 @@ func repairTail(path string) (size, torn int64, err error) {
 	if err != nil {
 		return 0, 0, fmt.Errorf("wal: open segment: %w", err)
 	}
-	defer f.Close()
+	// The segment was opened read-write and may have been truncated: a
+	// failed close can mean the repair never reached the disk.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			size, torn = 0, 0
+			err = fmt.Errorf("wal: close repaired segment: %w", cerr)
+		}
+	}()
 	fi, err := f.Stat()
 	if err != nil {
 		return 0, 0, err
@@ -363,15 +375,16 @@ func readUvarint(br *bufio.Reader) (uint64, int, error) {
 	}
 }
 
-// openSegment creates and switches to segment seq.
-func (l *Log) openSegment(seq uint64) error {
+// openSegmentLocked creates and switches to segment seq. Callers hold l.mu
+// (or own the log exclusively, as Open does).
+func (l *Log) openSegmentLocked(seq uint64) error {
 	f, err := os.Create(l.segPath(seq))
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
 	bw := bufio.NewWriterSize(f, 64<<10)
 	if _, err := bw.Write(segMagic); err != nil {
-		f.Close()
+		f.Close() //smuvet:allow closeerr -- write error is primary; the segment is abandoned
 		return err
 	}
 	l.f, l.bw = f, bw
@@ -506,7 +519,7 @@ func (l *Log) rotateLocked() error {
 	if err := l.sealLocked(); err != nil {
 		return err
 	}
-	if err := l.openSegment(l.seq + 1); err != nil {
+	if err := l.openSegmentLocked(l.seq + 1); err != nil {
 		return err
 	}
 	return l.syncDir()
@@ -630,7 +643,7 @@ func (l *Log) Reset() error {
 	l.sealedSt = nil
 	l.records = 0
 	l.dirty = false
-	if err := l.openSegment(0); err != nil {
+	if err := l.openSegmentLocked(0); err != nil {
 		return err
 	}
 	return l.syncDir()
