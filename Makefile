@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench check lint smuvet fmt-check bench-smoke fuzz-smoke chaos crash report experiments experiments-full clean
+.PHONY: all build vet test test-short bench bench-json check lint smuvet fmt-check bench-smoke fuzz-smoke chaos crash report experiments experiments-full clean
 
 all: build vet test
 
@@ -28,6 +28,16 @@ fmt-check:
 # decode-count assertions inside it) without paying for real measurements.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Machine-readable benchmark manifest: one-iteration measurements for every
+# benchmark, keyed "<pkg>.<Benchmark>" → ns/op, B/op, allocs/op. CI uploads
+# the result as an artifact so a branch's perf trajectory is one download
+# away. One iteration is smoke-grade — it anchors allocation counts exactly
+# but ns/op only roughly; use `make bench` on a quiet machine for real
+# timings.
+BENCH_JSON ?= BENCH_5.json
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 # Short fuzz pass over every fuzz target: catches decoder panics and
 # round-trip regressions without a dedicated fuzzing farm.
@@ -87,5 +97,9 @@ experiments:
 experiments-full:
 	$(GO) run ./cmd/report -scale 1.0 -seed 1 -workers -1 -tracedir /tmp/smartusage-traces -o EXPERIMENTS.md
 
+# Removes run artifacts from the repo root (collectd spool/WAL dirs as named
+# in the docs, report/agentsim outputs) and soak scratch left in TMPDIR by
+# killed test runs (a completed run cleans its own t.TempDir).
 clean:
 	rm -f campaign-*.trace campaign-*.jsonl collected.trace
+	rm -rf spool wal $${TMPDIR:-/tmp}/TestChaosSoak* $${TMPDIR:-/tmp}/TestCrashRestartSoak*

@@ -25,6 +25,7 @@ import (
 	"smartusage/internal/agent"
 	"smartusage/internal/config"
 	"smartusage/internal/faultnet"
+	"smartusage/internal/obs"
 	"smartusage/internal/sim"
 	"smartusage/internal/trace"
 )
@@ -44,8 +45,24 @@ func main() {
 		backoff    = flag.Duration("backoff", 100*time.Millisecond, "initial retry backoff (doubles per attempt, jittered)")
 		maxBackoff = flag.Duration("max-backoff", 2*time.Second, "retry backoff cap")
 		spoolDir   = flag.String("spool-dir", "", "journal each agent's upload queue under this directory (one subdir per device); a re-run resumes abandoned samples")
+		traceOut   = flag.String("trace-out", "", "write stage spans (simulate, drain) as Chrome trace JSONL to this file")
+		metricsOut = flag.String("metrics-out", "", "write a final Prometheus-text metrics snapshot to this file")
 	)
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tracer = obs.NewTracer(f)
+		defer tracer.Close()
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
 
 	cfg, err := config.ForYear(*year, *scale, *seed)
 	if err != nil {
@@ -64,11 +81,13 @@ func main() {
 		fcfg.DialRefuse = *failrate
 	}
 	fcfg.Seed = *seed * 31
+	fcfg.Metrics = reg
 	inj := faultnet.New(fcfg)
 	dial := inj.Dial(nil)
 
 	agents := make(map[trace.DeviceID]*agent.Agent)
 	var recorded, flushErrs int
+	simSpan := tracer.Start("agentsim:simulate")
 	err = sm.Run(func(s *trace.Sample) error {
 		a := agents[s.Device]
 		if a == nil {
@@ -82,6 +101,7 @@ func main() {
 				Backoff:     *backoff,
 				MaxBackoff:  *maxBackoff,
 				Dial:        dial,
+				Metrics:     reg,
 			}
 			if *spoolDir != "" {
 				acfg.SpoolDir = filepath.Join(*spoolDir, s.Device.String())
@@ -96,10 +116,12 @@ func main() {
 		recorded++
 		return nil
 	})
+	simSpan.End()
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	drainSpan := tracer.Start("agentsim:drain")
 	var uploaded, dropped, retries, resumed, abandoned int
 	for _, a := range agents {
 		if err := a.Close(); err != nil {
@@ -115,10 +137,18 @@ func main() {
 		retries += st.Retries
 		resumed += st.Resumed
 	}
+	drainSpan.End()
 	log.Printf("devices=%d recorded=%d resumed=%d uploaded=%d dropped=%d retries=%d close-errors=%d abandoned=%d",
 		len(agents), recorded, resumed, uploaded, dropped, retries, flushErrs, abandoned)
 	log.Printf("faults: %s", inj.Stats())
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if abandoned > 0 {
+		// os.Exit skips defers; finish the trace file first.
+		tracer.Close()
 		fate := "lost"
 		if *spoolDir != "" {
 			fate = fmt.Sprintf("retained under %s; re-run to resume", *spoolDir)
@@ -126,4 +156,17 @@ func main() {
 		log.Printf("exit 1: %d samples abandoned (%s)", abandoned, fate)
 		os.Exit(1)
 	}
+}
+
+// writeMetrics renders a final Prometheus-text snapshot of the registry.
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.Snapshot().WritePrometheus(f); err != nil {
+		f.Close() //smuvet:allow closeerr -- write error is primary; the file is incomplete anyway
+		return err
+	}
+	return f.Close()
 }

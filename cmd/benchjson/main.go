@@ -1,0 +1,52 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON benchmark manifest: one object keyed by
+// "<package>.<Benchmark>" mapping to ns/op, B/op, and allocs/op. CI runs it
+// after the benchmark smoke pass and publishes the result (BENCH_5.json) as
+// an artifact, so the perf trajectory of a branch is one download away
+// instead of buried in a log.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime=1x -benchmem ./... | benchjson -o BENCH_5.json
+package main
+
+import (
+	"bufio"
+	"flag"
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark lines on stdin (did the bench pass run with -bench?)")
+	}
+	b := marshal(results)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if _, err := w.Write(b); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d benchmarks", len(results))
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bufio"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements. A value of -1 means the metric was
+// absent from the line (B/op and allocs/op only appear under -benchmem).
+type Result struct {
+	Pkg      string  // import path, from the preceding "pkg:" header
+	Name     string  // benchmark name, GOMAXPROCS suffix stripped
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   int64   `json:"bytes_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+}
+
+// parse reads `go test -bench` output and returns one Result per benchmark
+// line, tagged with the package from the most recent "pkg:" header.
+func parse(sc *bufio.Scanner) ([]Result, error) {
+	var (
+		results []Result
+		pkg     string
+	)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shape: Name-N iterations value unit [value unit ...]
+		if len(fields) < 4 {
+			continue
+		}
+		r := Result{Pkg: pkg, Name: trimProcs(fields[0]), BPerOp: -1, AllocsOp: -1}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, err
+				}
+				r.NsPerOp = f
+				seen = true
+			case "B/op":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, err
+				}
+				r.BPerOp = n
+			case "allocs/op":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, err
+				}
+				r.AllocsOp = n
+			}
+		}
+		if seen {
+			results = append(results, r)
+		}
+	}
+	return results, sc.Err()
+}
+
+// trimProcs strips the -GOMAXPROCS suffix (BenchmarkX-8 → BenchmarkX) so
+// keys stay stable across machines with different core counts.
+func trimProcs(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// marshal renders the manifest deterministically: keys sorted, one
+// benchmark per line, trailing newline. Hand-rolled for the same reason as
+// obs.Snapshot.MarshalJSON — byte-stable output diffs cleanly between runs.
+func marshal(results []Result) []byte {
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Pkg != results[j].Pkg {
+			return results[i].Pkg < results[j].Pkg
+		}
+		return results[i].Name < results[j].Name
+	})
+	var b []byte
+	b = append(b, "{\n"...)
+	for i, r := range results {
+		if i > 0 {
+			b = append(b, ",\n"...)
+		}
+		b = append(b, "  "...)
+		b = strconv.AppendQuote(b, r.Pkg+"."+r.Name)
+		b = append(b, `: {"ns_per_op": `...)
+		b = strconv.AppendFloat(b, r.NsPerOp, 'g', -1, 64)
+		if r.BPerOp >= 0 {
+			b = append(b, `, "bytes_per_op": `...)
+			b = strconv.AppendInt(b, r.BPerOp, 10)
+		}
+		if r.AllocsOp >= 0 {
+			b = append(b, `, "allocs_per_op": `...)
+			b = strconv.AppendInt(b, r.AllocsOp, 10)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, "\n}\n"...)
+	return b
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"smartusage/internal/collector"
+	"smartusage/internal/obs"
 	"smartusage/internal/proto"
 	"smartusage/internal/trace"
 	"smartusage/internal/wal"
@@ -54,8 +55,21 @@ func main() {
 		walSeg       = flag.Int64("wal-seg", 64<<20, "WAL segment rotation size (bytes)")
 		ckptEvery    = flag.Duration("checkpoint-interval", time.Minute, "WAL checkpoint (and retention) period")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget; expiry with active connections exits non-zero")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
 	)
 	flag.Parse()
+
+	var (
+		reg    *obs.Registry
+		health *obs.Health
+	)
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		health = &obs.Health{}
+		msrv := obs.Serve(*metricsAddr, reg, health, log.Printf)
+		defer msrv.Close()
+		log.Printf("metrics on http://%s/metrics", *metricsAddr)
+	}
 
 	var (
 		sink     collector.Sink
@@ -98,6 +112,8 @@ func main() {
 			SegmentBytes: *walSeg,
 			Policy:       policy,
 			Interval:     *fsyncEvery,
+			Metrics:      reg,
+			MetricsName:  "collector",
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -113,6 +129,7 @@ func main() {
 		MaxFrameBytes: *maxFrame,
 		MaxConns:      *maxConns,
 		WAL:           walLog,
+		Metrics:       reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -165,6 +182,9 @@ func main() {
 			log.Print(err)
 		}
 	case <-ctx.Done():
+		// Graceful drain begins: flip /healthz to 503 so load balancers stop
+		// routing new agents here while in-flight connections finish.
+		health.SetDraining()
 		select {
 		case err := <-served:
 			if err != nil {

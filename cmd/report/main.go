@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"smartusage/internal/core"
+	"smartusage/internal/obs"
 	"smartusage/internal/report"
 )
 
@@ -27,12 +28,24 @@ func main() {
 		traceDir   = flag.String("tracedir", "", "spool traces to this directory instead of memory")
 		workers    = flag.Int("workers", 0, "simulation workers (0 = sequential, -1 = all cores)")
 		anaWorkers = flag.Int("analysis-workers", 0, "analysis workers (0 = sequential, -1 = all cores)")
+		traceOut   = flag.String("trace-out", "", "write per-stage spans (simulate, prepass, shards, merges) as Chrome trace JSONL to this file")
 	)
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tracer = obs.NewTracer(f)
+		defer tracer.Close()
+	}
 
 	st, err := core.RunStudy(core.Options{
 		Scale: *scale, Seed: *seed, TraceDir: *traceDir,
 		Workers: *workers, AnalysisWorkers: *anaWorkers,
+		Tracer: tracer,
 	})
 	if err != nil {
 		log.Fatal(err)

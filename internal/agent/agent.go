@@ -17,6 +17,7 @@ import (
 	"net"
 	"time"
 
+	"smartusage/internal/obs"
 	"smartusage/internal/proto"
 	"smartusage/internal/trace"
 	"smartusage/internal/wal"
@@ -70,6 +71,51 @@ type Config struct {
 	// Sleep overrides the wait between retries, for tests; nil uses
 	// time.Sleep.
 	Sleep func(time.Duration)
+
+	// Metrics, when non-nil, receives agent_* instruments. The counters are
+	// unlabeled aggregates — many agents sharing one registry share the same
+	// interned instruments, so a fleet simulation reads fleet-wide totals.
+	Metrics *obs.Registry
+}
+
+// agentMetrics holds the agent's obs instruments; all fields are nil (a
+// no-op) when Config.Metrics is unset. The counter sites mirror the Stats
+// sites one-to-one so soak tests can reconcile the two exactly.
+type agentMetrics struct {
+	records        *obs.Counter
+	drops          *obs.Counter
+	uploads        *obs.Counter
+	flushes        *obs.Counter
+	flushErrs      *obs.Counter
+	retries        *obs.Counter
+	redials        *obs.Counter
+	resumed        *obs.Counter
+	spoolRecords   *obs.Counter
+	spoolErrs      *obs.Counter
+	abandoned      *obs.Counter
+	backoffSeconds *obs.Histogram
+}
+
+func newAgentMetrics(reg *obs.Registry) agentMetrics {
+	reg.SetHelp("agent_records_total", "Samples recorded across all agents.")
+	reg.SetHelp("agent_uploads_total", "Samples acked by the collector.")
+	reg.SetHelp("agent_retries_total", "Upload re-attempts after backoff.")
+	reg.SetHelp("agent_backoff_seconds", "Backoff delays slept before retries.")
+	reg.SetHelp("agent_spool_records_total", "Records appended to the disk spool journal.")
+	return agentMetrics{
+		records:        reg.Counter("agent_records_total"),
+		drops:          reg.Counter("agent_drops_total"),
+		uploads:        reg.Counter("agent_uploads_total"),
+		flushes:        reg.Counter("agent_flushes_total"),
+		flushErrs:      reg.Counter("agent_flush_errors_total"),
+		retries:        reg.Counter("agent_retries_total"),
+		redials:        reg.Counter("agent_redials_total"),
+		resumed:        reg.Counter("agent_resumed_samples_total"),
+		spoolRecords:   reg.Counter("agent_spool_records_total"),
+		spoolErrs:      reg.Counter("agent_spool_errors_total"),
+		abandoned:      reg.Counter("agent_abandoned_samples_total"),
+		backoffSeconds: reg.Histogram("agent_backoff_seconds", nil),
+	}
 }
 
 // Stats counts agent activity.
@@ -96,6 +142,7 @@ type Stats struct {
 type Agent struct {
 	cfg   Config
 	stats Stats
+	m     agentMetrics
 
 	pending      []trace.Sample // recorded, not yet assigned to a batch
 	inflight     []trace.Sample // frozen batch awaiting ack
@@ -153,12 +200,14 @@ func New(cfg Config) (*Agent, error) {
 	}
 	a := &Agent{
 		cfg: cfg,
+		m:   newAgentMetrics(cfg.Metrics),
 		rng: rand.New(rand.NewSource(int64(cfg.Device) + 1)),
 	}
 	if cfg.SpoolDir != "" {
 		if err := a.openSpool(); err != nil {
 			return nil, err
 		}
+		a.m.resumed.Add(int64(a.stats.Resumed))
 		if a.inflight != nil {
 			// The journaled in-flight batch may have reached the server
 			// before the previous incarnation died; its ID must survive
@@ -197,6 +246,7 @@ func (a *Agent) Record(s *trace.Sample) {
 	a.journalSample(&cp) // journal before the queue change takes effect
 	a.pending = append(a.pending, cp)
 	a.stats.Recorded++
+	a.m.records.Inc()
 	if over := a.Pending() - a.cfg.MaxCache; over > 0 {
 		if over > len(a.pending) {
 			over = len(a.pending)
@@ -204,6 +254,7 @@ func (a *Agent) Record(s *trace.Sample) {
 		a.journalDrop(over)
 		a.pending = a.pending[over:]
 		a.stats.Dropped += over
+		a.m.drops.Add(int64(over))
 	}
 	if len(a.pending) >= a.cfg.BatchSize {
 		_ = a.Flush() // cache-and-retry semantics: errors are not fatal
@@ -228,11 +279,14 @@ func (a *Agent) Flush() error {
 			a.journalFreeze(a.inflightID, len(a.inflight))
 		}
 		a.stats.Flushes++
+		a.m.flushes.Inc()
 		if err := a.uploadWithRetry(); err != nil {
 			a.stats.FlushErrs++
+			a.m.flushErrs.Inc()
 			return err
 		}
 		a.stats.Uploaded += len(a.inflight)
+		a.m.uploads.Add(int64(len(a.inflight)))
 		a.journalAck(a.inflightID)
 		a.inflight = nil
 	}
@@ -255,7 +309,10 @@ func (a *Agent) uploadWithRetry() error {
 			return err
 		}
 		a.stats.Retries++
-		a.cfg.Sleep(a.backoff(attempt))
+		a.m.retries.Inc()
+		d := a.backoff(attempt)
+		a.m.backoffSeconds.Observe(d.Seconds())
+		a.cfg.Sleep(d)
 	}
 }
 
@@ -334,6 +391,7 @@ func (a *Agent) ensureConn() error {
 		return fmt.Errorf("agent: dial %s: %w", a.cfg.Server, err)
 	}
 	a.stats.Redials++
+	a.m.redials.Inc()
 	pc := proto.NewConn(conn)
 	hello := proto.Hello{
 		Version: proto.Version,
@@ -423,6 +481,7 @@ func (a *Agent) Close() error {
 		spoolErr = a.spool.Close()
 	}
 	if flushErr != nil {
+		a.m.abandoned.Add(int64(a.Pending()))
 		return &AbandonedError{Count: a.Pending(), Spooled: a.spool != nil, Err: flushErr}
 	}
 	return spoolErr

@@ -40,6 +40,8 @@ func (a *Agent) openSpool() error {
 	log, err := wal.Open(a.cfg.SpoolDir, wal.Options{
 		SegmentBytes: segBytes,
 		Policy:       wal.FsyncOff,
+		Metrics:      a.cfg.Metrics,
+		MetricsName:  "agent_spool",
 	})
 	if err != nil {
 		return fmt.Errorf("agent: open spool: %w", err)
@@ -175,7 +177,10 @@ func (a *Agent) journal(typ byte, payload []byte) {
 	}
 	if _, err := a.spool.Append(typ, payload); err != nil {
 		a.stats.SpoolErrs++
+		a.m.spoolErrs.Inc()
+		return
 	}
+	a.m.spoolRecords.Inc()
 }
 
 func (a *Agent) journalSample(s *trace.Sample) {
@@ -205,6 +210,7 @@ func (a *Agent) journalAck(id uint64) {
 	if a.Pending() == 0 {
 		if err := a.spool.Reset(); err != nil {
 			a.stats.SpoolErrs++
+			a.m.spoolErrs.Inc()
 			return
 		}
 		a.journal(spoolSeq, appendUvarint(a.spoolBuf[:0], a.batchID))

@@ -172,6 +172,8 @@ type Analyzer interface {
 // against prep (tethered intervals removed; for updated devices, the update
 // day and the following day removed, §2).
 func Run(src Source, prep *Prep, cleaned []Analyzer, raw []Analyzer) error {
+	sp := traceStart("analysis:run")
+	defer sp.End()
 	return src(func(s *trace.Sample) error {
 		dispatch(s, prep, cleaned, raw)
 		return nil

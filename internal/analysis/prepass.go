@@ -334,6 +334,8 @@ func finishPrep(meta Meta, updateRelease *time.Time, shards []*prepShard) *Prep 
 // updateRelease, when non-nil, enables iOS-update detection from that
 // instant (2015 campaign).
 func BuildPrep(meta Meta, src Source, updateRelease *time.Time) (*Prep, error) {
+	sp := traceStart("analysis:prep")
+	defer sp.End()
 	ps := newPrepShard(meta, updateRelease)
 	if err := src(ps.add); err != nil {
 		return nil, err

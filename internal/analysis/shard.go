@@ -2,7 +2,9 @@ package analysis
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -205,10 +207,12 @@ func shardAnalyzers(base []Analyzer, n int) (perShard [][]Analyzer, ok bool) {
 // shard-index order so merge-order-sensitive state stays deterministic.
 func mergeShards(base []Analyzer, perShard [][]Analyzer) {
 	for i, a := range base {
+		sp := traceStart("analysis:merge").Arg("analyzer", fmt.Sprintf("%T", a))
 		sa := a.(ShardedAnalyzer)
 		for w := range perShard {
 			sa.Merge(perShard[w][i])
 		}
+		sp.End()
 	}
 }
 
@@ -230,6 +234,7 @@ func RunParallel(src Source, prep *Prep, cleaned []Analyzer, raw []Analyzer, wor
 	if !okC || !okR {
 		return Run(src, prep, cleaned, raw)
 	}
+	sp := traceStart("analysis:run-parallel").Arg("workers", strconv.Itoa(workers))
 	err := fanOut(src, workers, func(w int, batch []trace.Sample) error {
 		for i := range batch {
 			dispatch(&batch[i], prep, cleanedShards[w], rawShards[w])
@@ -237,10 +242,12 @@ func RunParallel(src Source, prep *Prep, cleaned []Analyzer, raw []Analyzer, wor
 		return nil
 	})
 	if err != nil {
+		sp.End()
 		return err
 	}
 	mergeShards(cleaned, cleanedShards)
 	mergeShards(raw, rawShards)
+	sp.End()
 	return nil
 }
 
@@ -258,20 +265,24 @@ func RunShards(sh *Shards, prep *Prep, cleaned []Analyzer, raw []Analyzer) error
 	if !okC || !okR {
 		return Run(sh.Source(), prep, cleaned, raw)
 	}
+	sp := traceStart("analysis:run-shards").Arg("shards", strconv.Itoa(n))
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			ssp := traceStart("analysis:shard").OnTID(w + 1)
 			part := sh.parts[w]
 			for i := range part {
 				dispatch(&part[i], prep, cleanedShards[w], rawShards[w])
 			}
+			ssp.End()
 		}(w)
 	}
 	wg.Wait()
 	mergeShards(cleaned, cleanedShards)
 	mergeShards(raw, rawShards)
+	sp.End()
 	return nil
 }
 
@@ -280,6 +291,8 @@ func RunShards(sh *Shards, prep *Prep, cleaned []Analyzer, raw []Analyzer) error
 // folded and finalized exactly like the sequential BuildPrep.
 func BuildPrepShards(meta Meta, sh *Shards, updateRelease *time.Time) (*Prep, error) {
 	n := sh.NumShards()
+	sp := traceStart("analysis:prep-shards").Arg("shards", strconv.Itoa(n))
+	defer sp.End()
 	shards := make([]*prepShard, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -287,15 +300,18 @@ func BuildPrepShards(meta Meta, sh *Shards, updateRelease *time.Time) (*Prep, er
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			psp := traceStart("analysis:prep-shard").OnTID(w + 1)
 			ps := newPrepShard(meta, updateRelease)
 			part := sh.parts[w]
 			for i := range part {
 				if err := ps.add(&part[i]); err != nil {
 					errs[w] = err
+					psp.End()
 					return
 				}
 			}
 			shards[w] = ps
+			psp.End()
 		}(w)
 	}
 	wg.Wait()
@@ -304,6 +320,8 @@ func BuildPrepShards(meta Meta, sh *Shards, updateRelease *time.Time) (*Prep, er
 			return nil, err
 		}
 	}
+	fsp := traceStart("analysis:prep-finish")
+	defer fsp.End()
 	return finishPrep(meta, updateRelease, shards), nil
 }
 
@@ -317,6 +335,8 @@ func BuildPrepParallel(meta Meta, src Source, updateRelease *time.Time, workers 
 	if workers == 1 {
 		return BuildPrep(meta, src, updateRelease)
 	}
+	sp := traceStart("analysis:prep-parallel").Arg("workers", strconv.Itoa(workers))
+	defer sp.End()
 	shards := make([]*prepShard, workers)
 	for w := range shards {
 		shards[w] = newPrepShard(meta, updateRelease)

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"smartusage/internal/obs"
 	"smartusage/internal/proto"
 	"smartusage/internal/trace"
 	"smartusage/internal/wal"
@@ -60,6 +61,15 @@ type Config struct {
 	Hook func(point string) error
 	// Logf logs server events; nil uses log.Printf.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives collector_* instruments: aggregate
+	// counters mirroring Stats, a sink latency histogram, and recovery
+	// counters. Nil keeps every instrumented site a no-op.
+	Metrics *obs.Registry
+	// PerDeviceMetrics additionally registers device="..."-labeled series
+	// (batch frames, frame bytes, dup batches, acks per device). One series
+	// set per device is high-cardinality — meant for tests and small fleets,
+	// not a million-device ingest tier.
+	PerDeviceMetrics bool
 }
 
 // Stats are the server's atomic counters.
@@ -83,6 +93,71 @@ type DeviceStats struct {
 	Sessions  int64  // hello handshakes completed
 }
 
+// serverMetrics holds the collector's obs instruments; every field is nil
+// (a no-op) when Config.Metrics is unset, so instrumented sites call them
+// unconditionally. Counter sites mirror the Stats sites one-to-one, which is
+// what lets the soak tests reconcile the two exactly.
+type serverMetrics struct {
+	timed       bool // sink histogram installed: worth reading the clock
+	perDevice   bool
+	conns       *obs.Counter
+	activeConns *obs.Gauge
+	frames      *obs.Counter
+	dups        *obs.Counter
+	accepted    *obs.Counter
+	samples     *obs.Counter
+	bytes       *obs.Counter
+	acks        *obs.Counter
+	authFails   *obs.Counter
+	sinkErrs    *obs.Counter
+	connErrs    *obs.Counter
+	devices     *obs.Gauge
+	sinkSeconds *obs.Histogram
+	recoveries  *obs.Counter
+	recBatches  *obs.Counter
+	resinked    *obs.Counter
+	checkpoints *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry, perDevice bool) serverMetrics {
+	reg.SetHelp("collector_batch_frames_total", "Batch frames received, duplicates included.")
+	reg.SetHelp("collector_dup_batches_total", "Batch frames absorbed by dedup.")
+	reg.SetHelp("collector_accepted_batches_total", "Batches committed (WAL + sink + dedup state).")
+	reg.SetHelp("collector_samples_total", "Samples accepted into the sink.")
+	reg.SetHelp("collector_sink_seconds", "Per-sample sink call latency.")
+	reg.SetHelp("collector_recoveries_total", "WAL recoveries completed at startup.")
+	return serverMetrics{
+		timed:       reg != nil,
+		perDevice:   reg != nil && perDevice,
+		conns:       reg.Counter("collector_conns_total"),
+		activeConns: reg.Gauge("collector_active_conns"),
+		frames:      reg.Counter("collector_batch_frames_total"),
+		dups:        reg.Counter("collector_dup_batches_total"),
+		accepted:    reg.Counter("collector_accepted_batches_total"),
+		samples:     reg.Counter("collector_samples_total"),
+		bytes:       reg.Counter("collector_batch_bytes_total"),
+		acks:        reg.Counter("collector_batch_acks_total"),
+		authFails:   reg.Counter("collector_auth_fails_total"),
+		sinkErrs:    reg.Counter("collector_sink_errors_total"),
+		connErrs:    reg.Counter("collector_conn_errors_total"),
+		devices:     reg.Gauge("collector_devices"),
+		sinkSeconds: reg.Histogram("collector_sink_seconds", nil),
+		recoveries:  reg.Counter("collector_recoveries_total"),
+		recBatches:  reg.Counter("collector_recovered_batches_total"),
+		resinked:    reg.Counter("collector_resinked_samples_total"),
+		checkpoints: reg.Counter("collector_checkpoints_total"),
+	}
+}
+
+// deviceMetrics are the optional device="..."-labeled series; all nil unless
+// Config.PerDeviceMetrics is set.
+type deviceMetrics struct {
+	frames *obs.Counter
+	bytes  *obs.Counter
+	dups   *obs.Counter
+	acks   *obs.Counter
+}
+
 // deviceState tracks one device under Server.mu. partialID/partialNext
 // record a batch whose sink failed midway, so an agent retry resumes at the
 // first unsinked sample instead of re-sinking the prefix: together with
@@ -95,12 +170,14 @@ type deviceState struct {
 	sessions    int64
 	partialID   uint64
 	partialNext int
+	m           deviceMetrics
 }
 
 // Server is the collection server. Create with New, start with Serve.
 type Server struct {
 	cfg   Config
 	stats Stats
+	m     serverMetrics
 
 	mu      sync.Mutex
 	sink    Sink                            // guarded by mu
@@ -139,6 +216,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	return &Server{
 		cfg:     cfg,
+		m:       newServerMetrics(cfg.Metrics, cfg.PerDeviceMetrics),
 		sink:    cfg.Sink,
 		devices: make(map[trace.DeviceID]*deviceState),
 		sem:     make(chan struct{}, cfg.MaxConns),
@@ -227,16 +305,20 @@ func (s *Server) Serve(ctx context.Context) error {
 		}
 		s.stats.Conns.Add(1)
 		s.stats.ActiveConns.Add(1)
+		s.m.conns.Inc()
+		s.m.activeConns.Add(1)
 		s.wg.Add(1)
 		go func() {
 			defer func() {
 				conn.Close()
 				<-s.sem
 				s.stats.ActiveConns.Add(-1)
+				s.m.activeConns.Add(-1)
 				s.wg.Done()
 			}()
 			if err := s.handle(ctx, conn); err != nil && !errors.Is(err, io.EOF) {
 				s.stats.Errors.Add(1)
+				s.m.connErrs.Inc()
 				s.logf("collector: %s: %v", conn.RemoteAddr(), err)
 			}
 		}()
@@ -276,9 +358,10 @@ func (s *Server) handle(ctx context.Context, nc net.Conn) error {
 	}
 	if s.cfg.Token != "" && hello.Token != s.cfg.Token {
 		s.stats.AuthFails.Add(1)
+		s.m.authFails.Inc()
 		return s.fail(nc, c, "authentication failed")
 	}
-	lastBatch := s.beginSession(hello.Device)
+	lastBatch, dm := s.beginSession(hello.Device)
 	ack := proto.HelloAck{SessionID: s.sessionID.Add(1), LastBatch: lastBatch}
 	wdeadline()
 	if err := c.WriteFrame(proto.FrameHelloAck, proto.AppendHelloAck(nil, &ack)); err != nil {
@@ -303,6 +386,8 @@ func (s *Server) handle(ctx context.Context, nc net.Conn) error {
 			if err := proto.DecodeBatch(payload, &batch); err != nil {
 				return s.fail(nc, c, "bad batch: %v", err)
 			}
+			s.m.bytes.Add(int64(len(payload)))
+			dm.bytes.Add(int64(len(payload)))
 			accepted, err := s.accept(hello.Device, &batch)
 			if err != nil {
 				if errors.Is(err, errBadBatch) {
@@ -324,6 +409,8 @@ func (s *Server) handle(ctx context.Context, nc net.Conn) error {
 			if err := c.WriteFrame(proto.FrameBatchAck, out); err != nil {
 				return err
 			}
+			s.m.acks.Inc()
+			dm.acks.Inc()
 		default:
 			return s.fail(nc, c, "unexpected frame %s", ft)
 		}
@@ -332,16 +419,17 @@ func (s *Server) handle(ctx context.Context, nc net.Conn) error {
 
 // beginSession records a completed hello in the device bookkeeping and
 // returns the device's last fully-acked batch ID (0 if none) for the
-// HelloAck session-resume field.
-func (s *Server) beginSession(dev trace.DeviceID) uint64 {
+// HelloAck session-resume field, plus the device's instruments so the
+// connection handler can count frames without re-taking the lock.
+func (s *Server) beginSession(dev trace.DeviceID) (uint64, deviceMetrics) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.deviceLocked(dev)
 	st.sessions++
 	if !st.haveLast {
-		return 0
+		return 0, st.m
 	}
-	return st.lastBatch
+	return st.lastBatch, st.m
 }
 
 // deviceLocked returns the state for dev, creating it. Callers hold s.mu.
@@ -351,6 +439,18 @@ func (s *Server) deviceLocked(dev trace.DeviceID) *deviceState {
 		st = &deviceState{}
 		s.devices[dev] = st
 		s.stats.Devices.Add(1)
+		s.m.devices.Add(1)
+	}
+	if s.m.perDevice && st.m.frames == nil {
+		// Lazily attach the labeled series; recovery-restored states arrive
+		// without them (see Recover), so this also covers those on first use.
+		l := obs.L("device", dev.String())
+		st.m = deviceMetrics{
+			frames: s.cfg.Metrics.Counter("collector_device_batch_frames_total", l),
+			bytes:  s.cfg.Metrics.Counter("collector_device_batch_bytes_total", l),
+			dups:   s.cfg.Metrics.Counter("collector_device_dup_batches_total", l),
+			acks:   s.cfg.Metrics.Counter("collector_device_acks_total", l),
+		}
 	}
 	return st
 }
@@ -382,10 +482,14 @@ func (s *Server) accept(dev trace.DeviceID, b *proto.Batch) (uint32, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Batches.Add(1)
+	s.m.frames.Inc()
 	st := s.deviceLocked(dev)
 	st.batches++
+	st.m.frames.Inc()
 	if st.haveLast && b.BatchID <= st.lastBatch {
 		s.stats.DupBatches.Add(1)
+		s.m.dups.Inc()
+		st.m.dups.Inc()
 		return 0, nil
 	}
 	start := 0
@@ -414,19 +518,31 @@ func (s *Server) accept(dev trace.DeviceID, b *proto.Batch) (uint32, error) {
 		}
 	}
 	for i := start; i < len(b.Samples); i++ {
-		if err := s.sink(&b.Samples[i]); err != nil {
+		var t0 time.Time
+		if s.m.timed {
+			t0 = time.Now()
+		}
+		err := s.sink(&b.Samples[i])
+		if s.m.timed {
+			s.m.sinkSeconds.Observe(time.Since(t0).Seconds())
+		}
+		if err != nil {
 			st.partialID, st.partialNext = b.BatchID, i
 			st.samples += int64(i - start)
 			s.stats.Samples.Add(int64(i - start))
+			s.m.samples.Add(int64(i - start))
 			s.stats.SinkErrs.Add(1)
+			s.m.sinkErrs.Inc()
 			return 0, err
 		}
 	}
 	st.haveLast, st.lastBatch = true, b.BatchID
 	st.partialID, st.partialNext = 0, 0
+	s.m.accepted.Inc()
 	accepted := len(b.Samples) - start
 	st.samples += int64(accepted)
 	s.stats.Samples.Add(int64(accepted))
+	s.m.samples.Add(int64(accepted))
 	return uint32(accepted), nil
 }
 

@@ -203,6 +203,7 @@ func (s *Server) Recover(restore func(sinkState []byte) error) (*Recovery, error
 		for dev, st := range devices {
 			s.devices[dev] = st
 			s.stats.Devices.Add(1)
+			s.m.devices.Add(1)
 		}
 	}
 	if restore != nil {
@@ -252,6 +253,9 @@ func (s *Server) Recover(restore func(sinkState []byte) error) (*Recovery, error
 		return nil, err
 	}
 	rec.Devices = len(s.devices)
+	s.m.recoveries.Inc()
+	s.m.recBatches.Add(rec.Batches)
+	s.m.resinked.Add(rec.Resinked)
 	return rec, nil
 }
 
@@ -288,6 +292,7 @@ func (s *Server) Checkpoint(sinkState func() ([]byte, error)) error {
 	if _, err := w.TruncateBefore(lsn); err != nil {
 		return err
 	}
+	s.m.checkpoints.Inc()
 	return nil
 }
 

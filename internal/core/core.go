@@ -16,12 +16,14 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"smartusage/internal/analysis"
 	"smartusage/internal/config"
 	"smartusage/internal/macro"
+	"smartusage/internal/obs"
 	"smartusage/internal/sim"
 	"smartusage/internal/survey"
 	"smartusage/internal/trace"
@@ -49,6 +51,11 @@ type Options struct {
 	// samples across goroutines by device (results are identical
 	// regardless); 0 keeps them sequential, negative uses GOMAXPROCS.
 	AnalysisWorkers int
+	// Tracer, when non-nil, records stage spans (simulation, prepass,
+	// analysis shards, merges) in Chrome trace format; see obs.NewTracer.
+	// It is also installed as the analysis engine's tracer for the life of
+	// the process — the caller owns closing it.
+	Tracer *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -129,11 +136,19 @@ func RunCampaign(year int, opts Options) (*CampaignRun, error) {
 // passes from the file, keeping memory bounded.
 func RunWithConfig(cfg config.Campaign, opts Options) (*CampaignRun, error) {
 	opts = opts.withDefaults()
+	if opts.Tracer != nil {
+		analysis.SetTracer(opts.Tracer)
+	}
+	year := strconv.Itoa(cfg.Year)
+	sp := opts.Tracer.Start("core:campaign").Arg("year", year)
+	defer sp.End()
 	sm, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	runSim := func(sink sim.Sink) error {
+		ssp := opts.Tracer.Start("core:simulate").Arg("year", year)
+		defer ssp.End()
 		if opts.Workers != 0 {
 			return sm.RunConcurrent(opts.Workers, sink)
 		}

@@ -22,6 +22,7 @@ import (
 	"smartusage/internal/agent"
 	"smartusage/internal/collector"
 	"smartusage/internal/faultnet"
+	"smartusage/internal/obs"
 	"smartusage/internal/trace"
 	"smartusage/internal/wal"
 )
@@ -75,12 +76,13 @@ type crashCollector struct {
 // (":0" picks a port; a fixed addr is retried while the previous
 // incarnation's socket drains), serve, and checkpoint periodically. hook is
 // the crash plan for this incarnation — nil for one that must survive.
-func startCrashCollector(t *testing.T, addr, walDir, spoolDir string, hook func(string) error) *crashCollector {
+func startCrashCollector(t *testing.T, addr, walDir, spoolDir string, hook func(string) error, reg *obs.Registry) *crashCollector {
 	t.Helper()
 	w, err := wal.Open(walDir, wal.Options{
 		SegmentBytes: 4 << 10,
 		Policy:       wal.FsyncRecord,
 		Hook:         hook,
+		Metrics:      reg,
 	})
 	if err != nil {
 		t.Fatalf("open wal: %v", err)
@@ -98,6 +100,7 @@ func startCrashCollector(t *testing.T, addr, walDir, spoolDir string, hook func(
 		WAL:          w,
 		Hook:         hook,
 		Logf:         func(string, ...any) {},
+		Metrics:      reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -151,13 +154,17 @@ func runCrashSoak(t *testing.T, point string, seed int64) {
 	walDir := filepath.Join(dir, "wal")
 	spoolDir := filepath.Join(dir, "spool")
 
+	// One registry spans every incarnation, like a metrics backend outliving
+	// the scraped processes: recovery counters accumulate across cold starts
+	// and must reconcile with the summed Recovery reports at the end.
+	reg := obs.NewRegistry()
 	serverCrash := point != faultnet.CrashAgentKill
 	plan := faultnet.NewCrashPlan(point, int(2+seed))
 	var hook func(string) error
 	if serverCrash {
 		hook = plan.Check
 	}
-	inc1 := startCrashCollector(t, "127.0.0.1:0", walDir, spoolDir, hook)
+	inc1 := startCrashCollector(t, "127.0.0.1:0", walDir, spoolDir, hook, reg)
 	addr := inc1.srv.Addr().String()
 
 	type result struct {
@@ -168,7 +175,7 @@ func runCrashSoak(t *testing.T, point string, seed int64) {
 	for d := 0; d < crashAgents; d++ {
 		dev := trace.DeviceID(9000*seed + int64(d) + 1)
 		go func() {
-			results <- result{dev: dev, err: runCrashAgent(dir, addr, dev, point)}
+			results <- result{dev: dev, err: runCrashAgent(dir, addr, dev, point, reg)}
 		}()
 	}
 
@@ -184,7 +191,7 @@ func runCrashSoak(t *testing.T, point string, seed int64) {
 			t.Fatal("crash point never fired; the soak exercised nothing")
 		}
 		inc1.stop()
-		inc2 = startCrashCollector(t, addr, walDir, spoolDir, nil)
+		inc2 = startCrashCollector(t, addr, walDir, spoolDir, nil, reg)
 		if point == faultnet.CrashWALAppend && inc2.rec.TornBytes == 0 {
 			t.Error("wal-append crash left no torn tail record to repair")
 		}
@@ -244,13 +251,48 @@ func runCrashSoak(t *testing.T, point string, seed int64) {
 			}
 		}
 	}
+
+	// Metrics conservation across the kill: the registry outlived every
+	// incarnation, so its recovery counters must equal the summed Recovery
+	// reports, and the torn-tail byte counter must match what the WAL
+	// repaired. On the agent side, Record is called exactly crashSamples
+	// times per device no matter where the kill landed.
+	recs := []*collector.Recovery{inc1.rec}
+	if inc2 != nil {
+		recs = append(recs, inc2.rec)
+	}
+	var wantBatches, wantResinked, wantTorn int64
+	for _, r := range recs {
+		wantBatches += r.Batches
+		wantResinked += r.Resinked
+		wantTorn += r.TornBytes
+	}
+	counter := func(name string, ls ...obs.Label) int64 { return reg.Counter(name, ls...).Value() }
+	for _, chk := range []struct {
+		metric string
+		got    int64
+		want   int64
+	}{
+		{"collector_recoveries_total", counter("collector_recoveries_total"), int64(len(recs))},
+		{"collector_recovered_batches_total", counter("collector_recovered_batches_total"), wantBatches},
+		{"collector_resinked_samples_total", counter("collector_resinked_samples_total"), wantResinked},
+		{"wal_torn_bytes_total", counter("wal_torn_bytes_total", obs.L("wal", "wal")), wantTorn},
+		{"agent_records_total", counter("agent_records_total"), int64(crashAgents * crashSamples)},
+	} {
+		if chk.got != chk.want {
+			t.Errorf("obs %s = %d, want %d", chk.metric, chk.got, chk.want)
+		}
+	}
+	if point == faultnet.CrashAgentKill && counter("agent_resumed_samples_total") == 0 {
+		t.Error("agent-kill point resumed nothing from the spool; obs agent_resumed_samples_total stayed 0")
+	}
 }
 
 // runCrashAgent records crashSamples samples through the faulty world,
 // draining with retries until everything is uploaded. For the agent-kill
 // point the agent object is dropped mid-campaign (journal never closed) and
 // rebuilt from its spool directory.
-func runCrashAgent(dir, addr string, dev trace.DeviceID, point string) error {
+func runCrashAgent(dir, addr string, dev trace.DeviceID, point string, reg *obs.Registry) error {
 	cfg := agent.Config{
 		Server:      addr,
 		Device:      dev,
@@ -263,6 +305,7 @@ func runCrashAgent(dir, addr string, dev trace.DeviceID, point string) error {
 		DialTimeout: time.Second,
 		IOTimeout:   150 * time.Millisecond,
 		SpoolDir:    filepath.Join(dir, "agents", dev.String()),
+		Metrics:     reg,
 	}
 	a, err := agent.New(cfg)
 	if err != nil {

@@ -24,6 +24,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"smartusage/internal/obs"
 )
 
 // Config sets per-operation fault probabilities, each in [0, 1]. The zero
@@ -60,6 +62,42 @@ type Config struct {
 	// MaxStall bounds a stall when the connection has no deadline set
 	// (default 1s).
 	MaxStall time.Duration
+
+	// Metrics, when non-nil, receives faultnet_injected_total counters
+	// labeled kind="..." — one series per fault type, incremented at exactly
+	// the same sites as Stats, so tests can reconcile the obs view against
+	// the injector's ground truth.
+	Metrics *obs.Registry
+}
+
+// faultMetrics holds one counter per fault kind; all nil (no-op) when
+// Config.Metrics is unset.
+type faultMetrics struct {
+	dialRefusals  *obs.Counter
+	readResets    *obs.Counter
+	writeResets   *obs.Counter
+	partialWrites *obs.Counter
+	readStalls    *obs.Counter
+	writeStalls   *obs.Counter
+	ackLosses     *obs.Counter
+	corruptions   *obs.Counter
+}
+
+func newFaultMetrics(reg *obs.Registry) faultMetrics {
+	reg.SetHelp("faultnet_injected_total", "Faults injected, by kind.")
+	kind := func(k string) *obs.Counter {
+		return reg.Counter("faultnet_injected_total", obs.L("kind", k))
+	}
+	return faultMetrics{
+		dialRefusals:  kind("dial-refusal"),
+		readResets:    kind("read-reset"),
+		writeResets:   kind("write-reset"),
+		partialWrites: kind("partial-write"),
+		readStalls:    kind("read-stall"),
+		writeStalls:   kind("write-stall"),
+		ackLosses:     kind("ack-loss"),
+		corruptions:   kind("corruption"),
+	}
 }
 
 // Stats counts injected faults, one counter per fault type.
@@ -134,6 +172,7 @@ var ErrStalled net.Error = stallError{}
 type Injector struct {
 	cfg   Config
 	stats Stats
+	m     faultMetrics
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -144,7 +183,7 @@ func New(cfg Config) *Injector {
 	if cfg.MaxStall <= 0 {
 		cfg.MaxStall = time.Second
 	}
-	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &Injector{cfg: cfg, m: newFaultMetrics(cfg.Metrics), rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
 // Stats exposes the fault counters.
@@ -176,6 +215,7 @@ func (in *Injector) Dial(inner func(addr string, timeout time.Duration) (net.Con
 	return func(addr string, timeout time.Duration) (net.Conn, error) {
 		if in.roll(in.cfg.DialRefuse) {
 			in.stats.DialRefusals.Add(1)
+			in.m.dialRefusals.Inc()
 			return nil, fmt.Errorf("faultnet: dial %s: %w", addr, ErrRefused)
 		}
 		c, err := inner(addr, timeout)
@@ -275,14 +315,17 @@ func (c *faultConn) Read(p []byte) (int, error) {
 	switch {
 	case c.in.roll(cfg.ReadReset):
 		c.in.stats.ReadResets.Add(1)
+		c.in.m.readResets.Inc()
 		return 0, c.die(ErrReset)
 	case c.in.roll(cfg.ReadStall):
 		c.in.stats.ReadStalls.Add(1)
+		c.in.m.readStalls.Inc()
 		return 0, c.stall(c.deadline(&c.readDL))
 	}
 	n, err := c.Conn.Read(p)
 	if n > 0 && c.in.roll(cfg.Corrupt) {
 		c.in.stats.Corruptions.Add(1)
+		c.in.m.corruptions.Inc()
 		p[c.in.intn(n)] ^= 1 << uint(c.in.intn(8))
 	}
 	return n, err
@@ -296,25 +339,30 @@ func (c *faultConn) Write(p []byte) (int, error) {
 	switch {
 	case c.in.roll(cfg.WriteReset):
 		c.in.stats.WriteResets.Add(1)
+		c.in.m.writeResets.Inc()
 		return 0, c.die(ErrReset)
 	case len(p) > 1 && c.in.roll(cfg.PartialWrite):
 		c.in.stats.PartialWrites.Add(1)
+		c.in.m.partialWrites.Inc()
 		n := 1 + c.in.intn(len(p)-1)
 		c.Conn.Write(p[:n]) // the prefix really reaches the peer
 		return n, c.die(ErrReset)
 	case c.in.roll(cfg.WriteStall):
 		c.in.stats.WriteStalls.Add(1)
+		c.in.m.writeStalls.Inc()
 		return 0, c.stall(c.deadline(&c.writeDL))
 	}
 	buf := p
 	if c.in.roll(cfg.Corrupt) {
 		c.in.stats.Corruptions.Add(1)
+		c.in.m.corruptions.Inc()
 		buf = append([]byte(nil), p...)
 		buf[c.in.intn(len(buf))] ^= 1 << uint(c.in.intn(8))
 	}
 	n, err := c.Conn.Write(buf)
 	if err == nil && n == len(p) && c.in.roll(cfg.AckLoss) {
 		c.in.stats.AckLosses.Add(1)
+		c.in.m.ackLosses.Inc()
 		c.die(ErrReset) // bytes delivered; the response never arrives
 	}
 	return n, err

@@ -18,6 +18,7 @@ import (
 	"smartusage/internal/agent"
 	"smartusage/internal/collector"
 	"smartusage/internal/faultnet"
+	"smartusage/internal/obs"
 	"smartusage/internal/trace"
 )
 
@@ -83,17 +84,23 @@ func TestChaosSoak(t *testing.T) {
 }
 
 func runSoak(t *testing.T, fcfg faultnet.Config, seed int64) {
+	// One registry spans agent, collector, and injector: the obs counters
+	// must reconcile exactly with the Stats structs at the end of the run.
+	reg := obs.NewRegistry()
 	fcfg.Seed = seed
+	fcfg.Metrics = reg
 	inj := faultnet.New(fcfg)
 
 	store := &deviceStore{byID: make(map[trace.DeviceID][]int64)}
 	srv, err := collector.New(collector.Config{
-		Addr:         "127.0.0.1:0",
-		Token:        "soak",
-		Sink:         store.sink,
-		ReadTimeout:  300 * time.Millisecond,
-		WriteTimeout: 300 * time.Millisecond,
-		Logf:         func(string, ...any) {},
+		Addr:             "127.0.0.1:0",
+		Token:            "soak",
+		Sink:             store.sink,
+		ReadTimeout:      300 * time.Millisecond,
+		WriteTimeout:     300 * time.Millisecond,
+		Logf:             func(string, ...any) {},
+		Metrics:          reg,
+		PerDeviceMetrics: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -133,6 +140,7 @@ func runSoak(t *testing.T, fcfg faultnet.Config, seed int64) {
 				DialTimeout: time.Second,
 				IOTimeout:   150 * time.Millisecond,
 				Dial:        inj.Dial(nil),
+				Metrics:     reg,
 			})
 			if err != nil {
 				results <- result{dev: dev, err: err}
@@ -157,7 +165,8 @@ func runSoak(t *testing.T, fcfg faultnet.Config, seed int64) {
 		}()
 	}
 
-	var totalUploaded, totalRecorded, totalDropped int64
+	var totalUploaded, totalRecorded, totalDropped, totalRetries int64
+	devs := make([]trace.DeviceID, 0, soakAgents)
 	for i := 0; i < soakAgents; i++ {
 		r := <-results
 		if r.err != nil {
@@ -171,6 +180,7 @@ func runSoak(t *testing.T, fcfg faultnet.Config, seed int64) {
 		totalUploaded += int64(st.Uploaded)
 		totalRecorded += int64(st.Recorded)
 		totalDropped += int64(st.Dropped)
+		totalRetries += int64(st.Retries)
 
 		// Exactly-once, in order: the sink holds precisely the recorded
 		// time series, no duplicates, no gaps, no reordering.
@@ -191,6 +201,7 @@ func runSoak(t *testing.T, fcfg faultnet.Config, seed int64) {
 		if !ok || ds.Samples != soakSamples || ds.Sessions < 1 {
 			t.Fatalf("device %s bookkeeping: %+v, ok=%v", r.dev, ds, ok)
 		}
+		devs = append(devs, r.dev)
 	}
 
 	// Collector-wide reconciliation: every uploaded sample was sinked once,
@@ -205,8 +216,84 @@ func runSoak(t *testing.T, fcfg faultnet.Config, seed int64) {
 	if cs.Devices.Load() != soakAgents {
 		t.Fatalf("collector saw %d devices, want %d", cs.Devices.Load(), soakAgents)
 	}
-	if fcfg != (faultnet.Config{Seed: seed, MaxStall: fcfg.MaxStall}) && inj.Stats().Total() == 0 {
+	if fcfg != (faultnet.Config{Seed: seed, MaxStall: fcfg.MaxStall, Metrics: reg}) && inj.Stats().Total() == 0 {
 		t.Fatal("fault mix configured but no fault ever fired; the soak exercised nothing")
+	}
+
+	// Quiesce before reading counters: a connection abandoned mid-stall can
+	// leave a server handler still running (and still counting) after its
+	// agent has moved on. Stopping the server drains them all.
+	cancel()
+	<-served
+
+	// Metrics conservation: every obs counter reconciles exactly with the
+	// Stats struct incremented at the same site. A drift here means an
+	// instrumented path and its Stats twin diverged.
+	counter := func(name string) int64 { return reg.Counter(name).Value() }
+	for _, chk := range []struct {
+		metric string
+		got    int64
+		want   int64
+	}{
+		{"agent_records_total", counter("agent_records_total"), totalRecorded},
+		{"agent_uploads_total", counter("agent_uploads_total"), totalUploaded},
+		{"agent_drops_total", counter("agent_drops_total"), totalDropped},
+		{"agent_retries_total", counter("agent_retries_total"), totalRetries},
+		{"collector_batch_frames_total", counter("collector_batch_frames_total"), cs.Batches.Load()},
+		{"collector_dup_batches_total", counter("collector_dup_batches_total"), cs.DupBatches.Load()},
+		{"collector_samples_total", counter("collector_samples_total"), cs.Samples.Load()},
+		{"collector_auth_fails_total", counter("collector_auth_fails_total"), cs.AuthFails.Load()},
+		{"collector_sink_errors_total", counter("collector_sink_errors_total"), cs.SinkErrs.Load()},
+		{"collector_devices", reg.Gauge("collector_devices").Value(), cs.Devices.Load()},
+	} {
+		if chk.got != chk.want {
+			t.Errorf("obs %s = %d, Stats twin = %d", chk.metric, chk.got, chk.want)
+		}
+	}
+	// Batch conservation inside the collector: every received frame was
+	// either absorbed as a duplicate or accepted (the sink never fails here).
+	frames := counter("collector_batch_frames_total")
+	dups := counter("collector_dup_batches_total")
+	accepted := counter("collector_accepted_batches_total")
+	if frames != dups+accepted {
+		t.Errorf("batch conservation broken: frames %d != dups %d + accepted %d", frames, dups, accepted)
+	}
+
+	// The device="..." labeled obs series mirror DeviceStats exactly
+	// (PerDeviceMetrics is on for this soak), and per-device batch
+	// conservation holds: frames minus dups is the unique batch count.
+	for _, dev := range devs {
+		ds, _ := srv.Device(dev)
+		l := obs.L("device", dev.String())
+		devFrames := reg.Counter("collector_device_batch_frames_total", l).Value()
+		devDups := reg.Counter("collector_device_dup_batches_total", l).Value()
+		if devFrames != ds.Batches {
+			t.Errorf("device %s: obs frames %d != DeviceStats.Batches %d", dev, devFrames, ds.Batches)
+		}
+		if devFrames-devDups != soakBatches {
+			t.Errorf("device %s: frames %d - dups %d != %d unique batches", dev, devFrames, devDups, soakBatches)
+		}
+	}
+
+	// Injected-fault counters reconcile per kind with faultnet.Stats.
+	fs := inj.Stats()
+	kind := func(k string) int64 { return reg.Counter("faultnet_injected_total", obs.L("kind", k)).Value() }
+	for _, chk := range []struct {
+		kind string
+		want int64
+	}{
+		{"dial-refusal", fs.DialRefusals.Load()},
+		{"read-reset", fs.ReadResets.Load()},
+		{"write-reset", fs.WriteResets.Load()},
+		{"partial-write", fs.PartialWrites.Load()},
+		{"read-stall", fs.ReadStalls.Load()},
+		{"write-stall", fs.WriteStalls.Load()},
+		{"ack-loss", fs.AckLosses.Load()},
+		{"corruption", fs.Corruptions.Load()},
+	} {
+		if got := kind(chk.kind); got != chk.want {
+			t.Errorf("obs faultnet_injected_total{kind=%q} = %d, Stats = %d", chk.kind, got, chk.want)
+		}
 	}
 	t.Logf("faults: %s; batches=%d dup=%d retries visible in dup count", inj.Stats(), cs.Batches.Load(), cs.DupBatches.Load())
 }

@@ -1,0 +1,245 @@
+package obs
+
+// Exposition: point-in-time snapshots of a registry, rendered as Prometheus
+// text format (the /metrics wire format) or JSON. Emission is deterministic
+// — instruments sort by (name, label set) and floats render with strconv's
+// shortest-round-trip formatting — so two snapshots of identical state are
+// byte-identical.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CounterValue is one counter series in a snapshot.
+type CounterValue struct {
+	Name   string
+	Labels string // rendered `{k="v",...}` or ""
+	Value  int64
+}
+
+// GaugeValue is one gauge series in a snapshot.
+type GaugeValue struct {
+	Name   string
+	Labels string
+	Value  int64
+}
+
+// HistogramValue is one histogram series in a snapshot. Counts are
+// per-bucket (not cumulative); Counts[len(Bounds)] is the +Inf bucket.
+type HistogramValue struct {
+	Name   string
+	Labels string
+	Bounds []float64
+	Counts []int64
+	Sum    float64
+	Count  int64
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// sorted by (name, label set) within each kind. Each individual value is
+// read atomically; the snapshot as a whole is not a cross-instrument
+// transaction (counters touched mid-snapshot may straddle it), which is the
+// usual scrape semantics.
+type Snapshot struct {
+	Counters   []CounterValue
+	Gauges     []GaugeValue
+	Histograms []HistogramValue
+
+	help map[string]string
+}
+
+// Snapshot captures the registry's current state. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{help: map[string]string{}}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	for _, c := range r.counters {
+		snap.Counters = append(snap.Counters, CounterValue{Name: c.name, Labels: c.labels, Value: c.v.Load()})
+	}
+	for _, g := range r.gauges {
+		snap.Gauges = append(snap.Gauges, GaugeValue{Name: g.name, Labels: g.labels, Value: g.v.Load()})
+	}
+	for _, h := range r.hists {
+		hv := HistogramValue{
+			Name:   h.name,
+			Labels: h.labels,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Sum:    h.Sum(),
+		}
+		for i := range h.counts {
+			hv.Counts[i] = h.counts[i].Load()
+			hv.Count += hv.Counts[i]
+		}
+		snap.Histograms = append(snap.Histograms, hv)
+	}
+	for name, help := range r.help {
+		snap.help[name] = help
+	}
+	r.mu.Unlock()
+
+	sort.Slice(snap.Counters, func(i, j int) bool {
+		return seriesLess(snap.Counters[i].Name, snap.Counters[i].Labels, snap.Counters[j].Name, snap.Counters[j].Labels)
+	})
+	sort.Slice(snap.Gauges, func(i, j int) bool {
+		return seriesLess(snap.Gauges[i].Name, snap.Gauges[i].Labels, snap.Gauges[j].Name, snap.Gauges[j].Labels)
+	})
+	sort.Slice(snap.Histograms, func(i, j int) bool {
+		return seriesLess(snap.Histograms[i].Name, snap.Histograms[i].Labels, snap.Histograms[j].Name, snap.Histograms[j].Labels)
+	})
+	return snap
+}
+
+func seriesLess(an, al, bn, bl string) bool {
+	if an != bn {
+		return an < bn
+	}
+	return al < bl
+}
+
+// formatFloat renders a float the shortest way that round-trips, matching
+// Prometheus client conventions.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeHeader emits the # HELP / # TYPE preamble once per metric family.
+func (s *Snapshot) writeHeader(w io.Writer, last *string, name, kind string) error {
+	if *last == name {
+		return nil
+	}
+	*last = name
+	if help, ok := s.help[name]; ok {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+	return err
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Output is byte-stable for identical state.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	var last string
+	for _, c := range s.Counters {
+		if err := s.writeHeader(w, &last, c.Name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", c.Name, c.Labels, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := s.writeHeader(w, &last, g.Name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", g.Name, g.Labels, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := s.writeHeader(w, &last, h.Name, "histogram"); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, mergeLE(h.Labels, formatFloat(bound)), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Counts[len(h.Bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, mergeLE(h.Labels, "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", h.Name, h.Labels, formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", h.Name, h.Labels, cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeLE appends the le="bound" label to an already-rendered label set.
+func mergeLE(labels, bound string) string {
+	le := `le="` + bound + `"`
+	if labels == "" {
+		return "{" + le + "}"
+	}
+	return labels[:len(labels)-1] + "," + le + "}"
+}
+
+// MarshalJSON renders the snapshot as deterministic JSON: series stay in
+// snapshot (sorted) order, and all strings are quoted with strconv, so
+// identical state marshals byte-identically.
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	var b []byte
+	b = append(b, `{"counters":[`...)
+	for i, c := range s.Counters {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendSeriesJSON(b, c.Name, c.Labels)
+		b = append(b, `,"value":`...)
+		b = strconv.AppendInt(b, c.Value, 10)
+		b = append(b, '}')
+	}
+	b = append(b, `],"gauges":[`...)
+	for i, g := range s.Gauges {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendSeriesJSON(b, g.Name, g.Labels)
+		b = append(b, `,"value":`...)
+		b = strconv.AppendInt(b, g.Value, 10)
+		b = append(b, '}')
+	}
+	b = append(b, `],"histograms":[`...)
+	for i, h := range s.Histograms {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendSeriesJSON(b, h.Name, h.Labels)
+		b = append(b, `,"bounds":[`...)
+		for j, bound := range h.Bounds {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendFloat(b, bound, 'g', -1, 64)
+		}
+		b = append(b, `],"counts":[`...)
+		for j, n := range h.Counts {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, n, 10)
+		}
+		b = append(b, `],"sum":`...)
+		b = strconv.AppendFloat(b, h.Sum, 'g', -1, 64)
+		b = append(b, `,"count":`...)
+		b = strconv.AppendInt(b, h.Count, 10)
+		b = append(b, '}')
+	}
+	b = append(b, `]}`...)
+	return b, nil
+}
+
+func appendSeriesJSON(b []byte, name, labels string) []byte {
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, name)
+	if labels != "" {
+		b = append(b, `,"labels":`...)
+		b = strconv.AppendQuote(b, labels)
+	}
+	return b
+}

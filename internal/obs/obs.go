@@ -1,0 +1,307 @@
+// Package obs is the observability layer: a stdlib-only metrics core
+// (atomic counters, gauges, and bounded histograms collected in a named
+// registry), deterministic point-in-time snapshots with Prometheus text and
+// JSON exposition, lightweight stage-span tracing in Chrome trace format
+// (see span.go), and the HTTP endpoints that expose it all operationally
+// (see http.go).
+//
+// The package is built around two invariants:
+//
+//   - Near-zero cost when disabled. Every instrument method is a no-op on a
+//     nil receiver, and a nil *Registry hands out nil instruments, so
+//     instrumented code holds plain instrument pointers and calls them
+//     unconditionally — no branches at call sites, no allocation on the
+//     disabled path (asserted by TestNilFastPathDoesNotAllocate).
+//
+//   - Deterministic exposition. Snapshots emit instruments in sorted order
+//     (name, then label set), so two snapshots of identical state render
+//     byte-identical Prometheus text and JSON. smuvet's determinism
+//     analyzer covers this package.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key="value" dimension attached to an instrument at
+// registration. The label set is part of the instrument's identity.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing int64. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Counter struct {
+	v      atomic.Int64
+	name   string
+	labels string // rendered sorted label set, "" or `{k="v",...}`
+}
+
+// Add increments the counter by n (negative n is ignored: counters only go
+// up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an int64 value that can go up and down. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Gauge struct {
+	v      atomic.Int64
+	name   string
+	labels string
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (either sign).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefBuckets are the default histogram bucket upper bounds, tuned for
+// latencies in seconds from 100µs to ~10s.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a bounded histogram with fixed, configurable bucket upper
+// bounds. Observations are cheap: one binary search plus two atomic adds.
+// All methods are safe for concurrent use and no-ops on a nil receiver.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; the +Inf bucket is implicit
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	name   string
+	labels string
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns how many values have been observed (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Registry is a named collection of instruments. Instruments are interned:
+// asking twice for the same (kind, name, label set) returns the same
+// instrument, so independent components can share aggregate counters. All
+// methods are safe for concurrent use; every method on a nil *Registry
+// returns a nil instrument, which is itself a no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
+	kinds    map[string]string     // instrument key -> kind; guarded by mu
+	help     map[string]string     // metric name -> help text; guarded by mu
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		kinds:    make(map[string]string),
+		help:     make(map[string]string),
+	}
+}
+
+// renderLabels renders a sorted, escaped label set: `{k="v",k2="v2"}`, or ""
+// for none. The rendered form is part of the instrument key, so label order
+// at the call site does not matter.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(escapeLabelValue(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue quotes a label value per the Prometheus text format:
+// backslash, double quote, and newline are escaped.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\', '"':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// checkKind panics when one key is registered as two different kinds — a
+// programming error that would corrupt the exposition.
+func (r *Registry) checkKindLocked(key, kind string) {
+	if prev, ok := r.kinds[key]; ok && prev != kind {
+		panic(fmt.Sprintf("obs: %s already registered as a %s, requested as a %s", key, prev, kind))
+	}
+	r.kinds[key] = kind
+}
+
+// Counter interns the counter with this name and label set.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	ls := renderLabels(labels)
+	key := name + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKindLocked(key, "counter")
+	c := r.counters[key]
+	if c == nil {
+		c = &Counter{name: name, labels: ls}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge interns the gauge with this name and label set.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	ls := renderLabels(labels)
+	key := name + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKindLocked(key, "gauge")
+	g := r.gauges[key]
+	if g == nil {
+		g = &Gauge{name: name, labels: ls}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram interns the histogram with this name, bucket bounds, and label
+// set. bounds must be sorted ascending; nil selects DefBuckets. The bounds
+// of the first registration win.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %s bucket bounds not sorted", name))
+	}
+	ls := renderLabels(labels)
+	key := name + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKindLocked(key, "histogram")
+	h := r.hists[key]
+	if h == nil {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+			name:   name,
+			labels: ls,
+		}
+		r.hists[key] = h
+	}
+	return h
+}
+
+// SetHelp attaches Prometheus HELP text to a metric name.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = help
+}

@@ -1,0 +1,151 @@
+package obs
+
+// Stage-span tracing: a Tracer writes completed spans as Chrome trace
+// format events ("ph":"X"), one JSON object per line, loadable directly in
+// chrome://tracing or https://ui.perfetto.dev. The output opens a JSON
+// array and Close terminates it, but both viewers also accept a truncated
+// file from a run that died mid-trace, so every line written is useful.
+//
+// Like the metrics core, tracing is nil-safe end to end: a nil *Tracer
+// starts nil *Spans, and every Span method is a no-op on nil, so
+// instrumented code calls Start/End unconditionally.
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Tracer emits spans to one writer. Safe for concurrent use.
+type Tracer struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer // guarded by mu
+	out   io.Writer     // guarded by mu
+	wrote bool          // array opener emitted; guarded by mu
+	base  time.Time     // ts zero point
+}
+
+// NewTracer returns a tracer writing Chrome trace events to w. Call Close
+// to terminate the JSON array and flush (and close w, when it is a Closer).
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{bw: bufio.NewWriter(w), out: w, base: wallclock()}
+}
+
+// wallclock reads real time for span boundaries.
+//
+//smuvet:allow determinism -- spans measure real elapsed wall time by design; nothing feeds back into results
+func wallclock() time.Time { return time.Now() }
+
+// Span is one in-flight stage span. Create with Tracer.Start, finish with
+// End. A Span is not safe for concurrent use (one stage, one goroutine).
+type Span struct {
+	t     *Tracer
+	name  string
+	tid   int64
+	start time.Duration // since t.base
+	args  []Label
+}
+
+// Start begins a span named name on track (tid) 0. On a nil tracer it
+// returns a nil span, whose every method is a no-op.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: wallclock().Sub(t.base)}
+}
+
+// OnTID moves the span to a numbered track — e.g. one per shard or per
+// campaign year — so concurrent stages render as parallel rows.
+func (s *Span) OnTID(tid int) *Span {
+	if s == nil {
+		return nil
+	}
+	s.tid = int64(tid)
+	return s
+}
+
+// Arg attaches one key/value argument shown in the trace viewer's detail
+// pane.
+func (s *Span) Arg(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.args = append(s.args, Label{Key: key, Value: value})
+	return s
+}
+
+// End completes the span and writes its event.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := wallclock().Sub(s.t.base)
+	var b []byte
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, s.name)
+	b = append(b, `,"ph":"X","pid":1,"tid":`...)
+	b = strconv.AppendInt(b, s.tid, 10)
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendInt(b, s.start.Microseconds(), 10)
+	b = append(b, `,"dur":`...)
+	b = strconv.AppendInt(b, (end - s.start).Microseconds(), 10)
+	if len(s.args) > 0 {
+		b = append(b, `,"args":{`...)
+		for i, a := range s.args {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendQuote(b, a.Key)
+			b = append(b, ':')
+			b = strconv.AppendQuote(b, a.Value)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, "},\n"...)
+	s.t.write(b)
+}
+
+// write appends one rendered event under the tracer lock, emitting the
+// array opener first.
+func (t *Tracer) write(event []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.bw == nil {
+		return // closed; drop late spans rather than corrupt the tail
+	}
+	if !t.wrote {
+		t.wrote = true
+		t.bw.WriteString("[\n")
+	}
+	t.bw.Write(event)
+}
+
+// Close terminates the JSON array, flushes, and closes the underlying
+// writer when it implements io.Closer. Spans ended after Close are dropped.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.bw == nil {
+		return nil
+	}
+	if !t.wrote {
+		t.bw.WriteString("[\n")
+	}
+	// A trailing {} absorbs the last event's comma, keeping the file valid
+	// JSON while each event stays on its own line.
+	t.bw.WriteString("{}]\n")
+	err := t.bw.Flush()
+	t.bw = nil
+	if c, ok := t.out.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

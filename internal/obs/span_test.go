@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// traceEvents parses a finished trace file and returns its event objects
+// (the trailing {} terminator included).
+func traceEvents(t *testing.T, raw []byte) []map[string]any {
+	t.Helper()
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, raw)
+	}
+	return events
+}
+
+// TestTracerEvents checks the Chrome-trace shape of a small trace: complete
+// ("ph":"X") events carrying name/pid/tid/ts/dur and args, one per line,
+// closed into a valid JSON array.
+func TestTracerEvents(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Start("outer").Arg("year", "2015").End()
+	tr.Start("shard").OnTID(3).End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := traceEvents(t, buf.Bytes())
+	if len(events) != 3 { // two spans + {} terminator
+		t.Fatalf("got %d events, want 3: %s", len(events), buf.String())
+	}
+	outer, shard := events[0], events[1]
+	if outer["name"] != "outer" || outer["ph"] != "X" || outer["pid"] != float64(1) {
+		t.Errorf("outer event malformed: %v", outer)
+	}
+	if args, _ := outer["args"].(map[string]any); args["year"] != "2015" {
+		t.Errorf("outer args = %v, want year=2015", outer["args"])
+	}
+	if shard["tid"] != float64(3) {
+		t.Errorf("shard tid = %v, want 3", shard["tid"])
+	}
+	for _, ev := range events[:2] {
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Errorf("event missing ts: %v", ev)
+		}
+		if _, ok := ev["dur"].(float64); !ok {
+			t.Errorf("event missing dur: %v", ev)
+		}
+	}
+	// One event per line keeps a truncated file loadable.
+	if got := strings.Count(buf.String(), "\n"); got != 4 { // "[", 2 events, "{}]"
+		t.Errorf("trace has %d lines, want 4:\n%s", got, buf.String())
+	}
+}
+
+// TestTracerNilSafe: a nil tracer yields nil spans whose whole method chain
+// is a no-op — and allocates nothing.
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	sp.OnTID(1).Arg("k", "v").End()
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil tracer Close: %v", err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Start("x").OnTID(1).Arg("k", "v").End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil tracer path allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestTracerEmpty: closing a tracer that never saw a span still yields a
+// valid (terminator-only) JSON array.
+func TestTracerEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if events := traceEvents(t, buf.Bytes()); len(events) != 1 {
+		t.Errorf("empty trace has %d events, want the {} terminator only", len(events))
+	}
+}
+
+// TestTracerConcurrent hammers one tracer from many goroutines (the -race
+// proof) and checks no event line is torn or lost; spans ended after Close
+// are dropped, not corrupted.
+func TestTracerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				tr.Start("work").OnTID(i).End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Start("late").End() // dropped silently
+	if events := traceEvents(t, buf.Bytes()); len(events) != goroutines*perG+1 {
+		t.Errorf("got %d events, want %d", len(events), goroutines*perG+1)
+	}
+}

@@ -30,7 +30,7 @@ var DeterminismAnalyzer = &Analyzer{
 var determinismPackages = map[string]bool{
 	"sim": true, "population": true, "mobility": true, "wifi": true,
 	"cellular": true, "apps": true, "analysis": true, "stats": true,
-	"macro": true,
+	"macro": true, "obs": true,
 }
 
 // wallClockFuncs are the time-package functions that read the wall clock or

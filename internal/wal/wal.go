@@ -29,6 +29,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"smartusage/internal/obs"
 )
 
 // segMagic opens every segment file.
@@ -93,6 +95,41 @@ type Options struct {
 	// "pre-fsync") for fault injection; a non-nil return aborts the
 	// operation as a crash would. See faultnet.CrashPlan.
 	Hook func(point string) error
+	// Metrics, when non-nil, receives wal_* counters (appends, bytes,
+	// fsyncs, rotations, torn-tail bytes) labeled wal=MetricsName.
+	Metrics *obs.Registry
+	// MetricsName distinguishes multiple logs in one registry (e.g.
+	// "collector" vs "agent_spool"). Default "wal".
+	MetricsName string
+}
+
+// walMetrics holds the log's instruments; all fields are nil (no-op) when
+// Options.Metrics is unset.
+type walMetrics struct {
+	appends   *obs.Counter
+	bytes     *obs.Counter
+	fsyncs    *obs.Counter
+	rotations *obs.Counter
+	torn      *obs.Counter
+}
+
+func newWALMetrics(reg *obs.Registry, name string) walMetrics {
+	if name == "" {
+		name = "wal"
+	}
+	l := obs.L("wal", name)
+	reg.SetHelp("wal_appends_total", "Records appended to the write-ahead log.")
+	reg.SetHelp("wal_append_bytes_total", "Framed bytes appended to the write-ahead log.")
+	reg.SetHelp("wal_fsyncs_total", "fsync calls issued against WAL segments.")
+	reg.SetHelp("wal_rotations_total", "Segment rotations.")
+	reg.SetHelp("wal_torn_bytes_total", "Torn-tail bytes truncated during open-time repair.")
+	return walMetrics{
+		appends:   reg.Counter("wal_appends_total", l),
+		bytes:     reg.Counter("wal_append_bytes_total", l),
+		fsyncs:    reg.Counter("wal_fsyncs_total", l),
+		rotations: reg.Counter("wal_rotations_total", l),
+		torn:      reg.Counter("wal_torn_bytes_total", l),
+	}
 }
 
 // Errors.
@@ -133,6 +170,7 @@ type sealed struct {
 type Log struct {
 	dir  string
 	opts Options
+	m    walMetrics // instruments; nil fields no-op when metrics are off
 
 	mu       sync.Mutex
 	sealedSt []sealed      // guarded by mu
@@ -167,7 +205,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: mkdir: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts}
+	l := &Log{dir: dir, opts: opts, m: newWALMetrics(opts.Metrics, opts.MetricsName)}
 	seqs, err := l.scanDir()
 	if err != nil {
 		return nil, err
@@ -192,6 +230,7 @@ func Open(dir string, opts Options) (*Log, error) {
 			return nil, err
 		}
 		l.torn = n
+		l.m.torn.Add(n)
 		f, err := os.OpenFile(l.segPath(last), os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("wal: reopen segment: %w", err)
@@ -441,6 +480,8 @@ func (l *Log) Append(typ byte, payload []byte) (LSN, error) {
 	l.off += int64(len(frame))
 	l.records++
 	l.dirty = true
+	l.m.appends.Inc()
+	l.m.bytes.Add(int64(len(frame)))
 
 	if h := l.opts.Hook; h != nil {
 		// The record is in the OS (survives process death) but not yet
@@ -482,6 +523,7 @@ func (l *Log) syncLocked() error {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	l.dirty = false
+	l.m.fsyncs.Inc()
 	return nil
 }
 
@@ -522,6 +564,7 @@ func (l *Log) rotateLocked() error {
 	if err := l.openSegmentLocked(l.seq + 1); err != nil {
 		return err
 	}
+	l.m.rotations.Inc()
 	return l.syncDir()
 }
 
