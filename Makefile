@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json check lint smuvet fmt-check bench-smoke fuzz-smoke chaos crash report experiments experiments-full clean
+.PHONY: all build vet test test-short bench bench-json bench-diff check lint smuvet fmt-check bench-smoke fuzz-smoke chaos crash report experiments experiments-full clean
 
 all: build vet test
 
@@ -35,9 +35,19 @@ bench-smoke:
 # away. One iteration is smoke-grade — it anchors allocation counts exactly
 # but ns/op only roughly; use `make bench` on a quiet machine for real
 # timings.
-BENCH_JSON ?= BENCH_5.json
+BENCH_JSON ?= BENCH_6.json
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
+
+# Perf-regression gate: rerun the one-iteration benchmark pass and diff it
+# against the committed anchor ($(BENCH_JSON)). Fails on any metric beyond
+# tolerance — loose on ns/op (noisy at one iteration, ignored below 1 ms),
+# tight on bytes/op and allocs/op (deterministic). Writes the fresh manifest
+# to $(BENCH_DIFF_OUT) so CI can publish it next to the verdict.
+BENCH_DIFF_OUT ?= bench-current.json
+bench-diff:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./... | \
+		$(GO) run ./cmd/benchjson -o $(BENCH_DIFF_OUT) -diff $(BENCH_JSON)
 
 # Short fuzz pass over every fuzz target: catches decoder panics and
 # round-trip regressions without a dedicated fuzzing farm.
@@ -101,5 +111,5 @@ experiments-full:
 # in the docs, report/agentsim outputs) and soak scratch left in TMPDIR by
 # killed test runs (a completed run cleans its own t.TempDir).
 clean:
-	rm -f campaign-*.trace campaign-*.jsonl collected.trace
+	rm -f campaign-*.trace campaign-*.jsonl collected.trace bench-current.json
 	rm -rf spool wal $${TMPDIR:-/tmp}/TestChaosSoak* $${TMPDIR:-/tmp}/TestCrashRestartSoak*

@@ -36,11 +36,35 @@ type Meta struct {
 	Start time.Time // local midnight of day 0
 	Days  int
 	Loc   *time.Location
+
+	// fixedOff caches Loc's UTC offset plus one when the zone's offset is
+	// constant across the campaign window (true for JST, which never
+	// observes DST). Zero means "unknown": the clock methods fall back to
+	// the time package. The cache exists because Hour/Weekday run per
+	// sample per pass — hundreds of millions of time-zone conversions per
+	// full-scale study — and a fixed-zone conversion is three integer ops.
+	fixedOff int64
 }
 
 // MetaFor derives analysis metadata from a campaign configuration.
 func MetaFor(c config.Campaign) Meta {
-	return Meta{Year: c.Year, Start: c.Start, Days: c.Days, Loc: config.JST}
+	m := Meta{Year: c.Year, Start: c.Start, Days: c.Days, Loc: config.JST}
+	m.initFastClock()
+	return m
+}
+
+// initFastClock probes Loc at both ends of the campaign and enables the
+// fixed-offset fast path when the offset never changes. Metas built as plain
+// literals skip this and simply take the (identical-result) slow path.
+func (m *Meta) initFastClock() {
+	if m.Loc == nil {
+		return
+	}
+	_, a := m.Start.In(m.Loc).Zone()
+	_, b := m.Start.AddDate(0, 0, m.Days+1).In(m.Loc).Zone()
+	if a == b {
+		m.fixedOff = int64(a) + 1
+	}
 }
 
 // Day returns the 0-based campaign day of a sample time, which may be out
@@ -49,20 +73,49 @@ func (m Meta) Day(unix int64) int {
 	return int((unix - m.Start.Unix()) / 86400)
 }
 
+// floorDiv is integer division rounding toward negative infinity.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b < 0 {
+		q--
+	}
+	return q
+}
+
+// floorMod is the non-negative remainder matching floorDiv.
+func floorMod(a, b int64) int64 { return a - floorDiv(a, b)*b }
+
 // HourOfWeek returns the sample's hour-of-week bin, 0..167, with 0 =
 // Sunday 00:00 local time.
 func (m Meta) HourOfWeek(unix int64) int {
+	if m.fixedOff != 0 {
+		local := unix + m.fixedOff - 1
+		return m.weekdayFast(local)*24 + int(floorMod(local, 86400)/3600)
+	}
 	t := time.Unix(unix, 0).In(m.Loc)
 	return int(t.Weekday())*24 + t.Hour()
 }
 
 // Hour returns the local hour of day, 0..23.
 func (m Meta) Hour(unix int64) int {
+	if m.fixedOff != 0 {
+		return int(floorMod(unix+m.fixedOff-1, 86400) / 3600)
+	}
 	return time.Unix(unix, 0).In(m.Loc).Hour()
+}
+
+// weekdayFast maps a local Unix second to its weekday (0 = Sunday), using
+// the fact that the epoch fell on a Thursday.
+func (m Meta) weekdayFast(local int64) int {
+	return int(floorMod(floorDiv(local, 86400)+4, 7))
 }
 
 // Weekday reports whether the sample falls Monday-Friday.
 func (m Meta) Weekday(unix int64) bool {
+	if m.fixedOff != 0 {
+		wd := m.weekdayFast(unix + m.fixedOff - 1)
+		return wd >= 1 && wd <= 5
+	}
 	wd := time.Unix(unix, 0).In(m.Loc).Weekday()
 	return wd >= time.Monday && wd <= time.Friday
 }

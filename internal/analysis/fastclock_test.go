@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFastClockMatchesTimePackage sweeps the campaign window (plus margins)
+// and checks the fixed-offset fast path against the time-package slow path
+// for every clock method. The fast path carries the per-sample conversions of
+// both analysis passes, so any divergence would silently skew every
+// hour-binned result.
+func TestFastClockMatchesTimePackage(t *testing.T) {
+	fast := testMeta(30)
+	if fast.fixedOff == 0 {
+		t.Fatal("JST campaign did not enable the fixed-offset clock")
+	}
+	slow := fast
+	slow.fixedOff = 0
+
+	start := fast.Start.AddDate(0, 0, -2).Unix()
+	end := fast.Start.AddDate(0, 0, fast.Days+2).Unix()
+	for unix := start; unix < end; unix += 1801 { // off-grid step hits every hour and weekday
+		if f, s := fast.Hour(unix), slow.Hour(unix); f != s {
+			t.Fatalf("Hour(%d): fast %d, slow %d", unix, f, s)
+		}
+		if f, s := fast.Weekday(unix), slow.Weekday(unix); f != s {
+			t.Fatalf("Weekday(%d): fast %v, slow %v", unix, f, s)
+		}
+		if f, s := fast.HourOfWeek(unix), slow.HourOfWeek(unix); f != s {
+			t.Fatalf("HourOfWeek(%d): fast %d, slow %d", unix, f, s)
+		}
+	}
+}
+
+// TestFastClockDisabledForDST checks that a zone with a transition inside
+// the window keeps the slow path.
+func TestFastClockDisabledForDST(t *testing.T) {
+	loc, err := time.LoadLocation("America/New_York")
+	if err != nil {
+		t.Skip("no tzdata available")
+	}
+	m := Meta{
+		Year:  2015,
+		Start: time.Date(2015, 3, 2, 0, 0, 0, 0, loc), // DST starts March 8
+		Days:  14,
+		Loc:   loc,
+	}
+	m.initFastClock()
+	if m.fixedOff != 0 {
+		t.Fatal("fixed-offset clock enabled across a DST transition")
+	}
+}

@@ -327,8 +327,8 @@ func TestShardsPartitioning(t *testing.T) {
 	devShard := make(map[trace.DeviceID]int)
 	lastTime := make(map[trace.DeviceID]int64)
 	for w := 0; w < sh.NumShards(); w++ {
-		for i := range sh.parts[w] {
-			s := &sh.parts[w][i]
+		for i := range sh.parts[w].samples {
+			s := &sh.parts[w].samples[i]
 			if prev, ok := devShard[s.Device]; ok && prev != w {
 				t.Fatalf("device %d in shards %d and %d", s.Device, prev, w)
 			}

@@ -82,9 +82,26 @@ type APStat struct {
 	firstDev  trace.DeviceID
 }
 
+// Cardinality records stream sizes the prepass measures for free, so the
+// second pass can size its accumulators once instead of growing them. The
+// counts are exact and path-independent (each sample increments exactly one
+// shard's counters, and shards sum).
+type Cardinality struct {
+	// Samples is the total number of samples in the stream.
+	Samples int
+	// AvailIntervals counts Android, non-tethered, WiFi-available samples —
+	// an upper bound (exact but for update-day excision) on the number of
+	// appends PublicAvailability performs.
+	AvailIntervals int
+}
+
 // Prep is the derived per-dataset context shared by all analyzers.
 type Prep struct {
 	Meta Meta
+
+	// Card holds the stream cardinalities used to preallocate second-pass
+	// analyzer state.
+	Card Cardinality
 
 	// Devices maps every seen device to its OS.
 	Devices map[trace.DeviceID]trace.OS
@@ -146,6 +163,7 @@ type prepShard struct {
 	releaseUnix int64
 	detect      bool // update detection enabled (2015 campaign)
 
+	card       Cardinality
 	devices    map[trace.DeviceID]trace.OS
 	aps        map[APKey]*APStat
 	userDays   map[UserDayKey]*UserDay
@@ -173,6 +191,12 @@ func newPrepShard(meta Meta, updateRelease *time.Time) *prepShard {
 // add observes one sample.
 func (ps *prepShard) add(s *trace.Sample) error {
 	meta := ps.meta
+	ps.card.Samples++
+	if !s.Tethered && s.OS == trace.Android && s.WiFiState == trace.WiFiOn {
+		// Upper bound on PublicAvailability's appends: update-day excision
+		// is not known yet, so the second pass may append slightly fewer.
+		ps.card.AvailIntervals++
+	}
 	ps.devices[s.Device] = s.OS
 	day := meta.Day(s.Time)
 	if day < 0 || day >= meta.Days {
@@ -305,6 +329,8 @@ func finishPrep(meta Meta, updateRelease *time.Time, shards []*prepShard) *Prep 
 	}
 	nights := make(map[UserDayKey]*nightAgg)
 	for _, ps := range shards {
+		p.Card.Samples += ps.card.Samples
+		p.Card.AvailIntervals += ps.card.AvailIntervals
 		for dev, os := range ps.devices {
 			p.Devices[dev] = os
 		}

@@ -11,12 +11,16 @@ import (
 var jst = time.FixedZone("JST", 9*3600)
 
 func testMeta(days int) Meta {
-	return Meta{
+	m := Meta{
 		Year:  2015,
 		Start: time.Date(2015, 3, 2, 0, 0, 0, 0, jst), // a Monday
 		Days:  days,
 		Loc:   jst,
 	}
+	// Enable the fixed-offset clock like MetaFor does, so tests exercise
+	// the production fast path (fastclock_test pins fast == slow).
+	m.initFastClock()
+	return m
 }
 
 // tb builds samples for tests.

@@ -133,17 +133,67 @@ type PublicAvailability struct {
 	dev5Strong  map[trace.DeviceID]bool
 }
 
-// NewPublicAvailability returns an empty Fig. 17 accumulator.
+// NewPublicAvailability returns an empty Fig. 17 accumulator. Its
+// per-interval slices are preallocated from the prepass cardinality (when
+// known) and drawn from a shared pool; call Release once the result has been
+// extracted to recycle them.
 func NewPublicAvailability(prep *Prep) *PublicAvailability {
+	pa := newPublicAvailability(prep)
+	if n := prep.Card.AvailIntervals; n > 0 {
+		pa.n24All = floatPool.Get(n)
+		pa.n24Strong = floatPool.Get(n)
+		pa.n5All = floatPool.Get(n)
+		pa.n5Strong = floatPool.Get(n)
+	}
+	return pa
+}
+
+// newPublicAvailability builds the accumulator without preallocating the
+// interval slices: shard accumulators see only a fraction of the stream, so
+// they start empty and grow through the pool instead of each claiming a
+// full-cardinality slab.
+func newPublicAvailability(prep *Prep) *PublicAvailability {
+	hint := len(prep.Devices)
 	return &PublicAvailability{
 		prep:        prep,
-		offloadable: make(map[trace.DeviceID]uint64),
-		cellTotal:   make(map[trace.DeviceID]uint64),
-		availBins:   make(map[trace.DeviceID]int),
-		strongBins:  make(map[trace.DeviceID]int),
+		offloadable: make(map[trace.DeviceID]uint64, hint),
+		cellTotal:   make(map[trace.DeviceID]uint64, hint),
+		availBins:   make(map[trace.DeviceID]int, hint),
+		strongBins:  make(map[trace.DeviceID]int, hint),
 		dev5Any:     make(map[trace.DeviceID]bool),
 		dev5Strong:  make(map[trace.DeviceID]bool),
 	}
+}
+
+// appendPooled is append with pool-backed growth: outgrown slabs return to
+// floatPool instead of becoming garbage.
+func appendPooled(b []float64, v float64) []float64 {
+	if len(b) == cap(b) {
+		n := 2 * cap(b)
+		if n < 1024 {
+			n = 1024
+		}
+		b = floatPool.Grow(b, n)
+	}
+	return append(b, v)
+}
+
+// putFloats recycles one slab and returns nil for the field it replaces.
+func putFloats(b []float64) []float64 {
+	if cap(b) > 0 {
+		floatPool.Put(b)
+	}
+	return nil
+}
+
+// Release returns the accumulator's pooled slabs for reuse. Call it only
+// after Result (which copies everything it keeps); the receiver must not be
+// used afterwards.
+func (pa *PublicAvailability) Release() {
+	pa.n24All = putFloats(pa.n24All)
+	pa.n24Strong = putFloats(pa.n24Strong)
+	pa.n5All = putFloats(pa.n5All)
+	pa.n5Strong = putFloats(pa.n5Strong)
 }
 
 // Add implements Analyzer.
@@ -175,10 +225,10 @@ func (pa *PublicAvailability) Add(s *trace.Sample) {
 			}
 		}
 	}
-	pa.n24All = append(pa.n24All, float64(c24))
-	pa.n24Strong = append(pa.n24Strong, float64(c24s))
-	pa.n5All = append(pa.n5All, float64(c5))
-	pa.n5Strong = append(pa.n5Strong, float64(c5s))
+	pa.n24All = appendPooled(pa.n24All, float64(c24))
+	pa.n24Strong = appendPooled(pa.n24Strong, float64(c24s))
+	pa.n5All = appendPooled(pa.n5All, float64(c5))
+	pa.n5Strong = appendPooled(pa.n5Strong, float64(c5s))
 	if c5 > 0 {
 		pa.dev5Any[s.Device] = true
 	}
@@ -191,18 +241,30 @@ func (pa *PublicAvailability) Add(s *trace.Sample) {
 	}
 }
 
-// NewShard implements ShardedAnalyzer.
-func (pa *PublicAvailability) NewShard() Analyzer { return NewPublicAvailability(pa.prep) }
+// NewShard implements ShardedAnalyzer. Shard accumulators grow their slices
+// through the pool on demand rather than preallocating the full cardinality.
+func (pa *PublicAvailability) NewShard() Analyzer { return newPublicAvailability(pa.prep) }
+
+// appendAllPooled concatenates src onto b, growing through the pool.
+func appendAllPooled(b, src []float64) []float64 {
+	if need := len(b) + len(src); need > cap(b) {
+		b = floatPool.Grow(b, need)
+	}
+	return append(b, src...)
+}
 
 // Merge implements ShardedAnalyzer. The per-interval slices concatenate in
 // shard order; every consumer of them (CCDFs, threshold counts) is
-// order-independent, so the result matches the sequential pass.
+// order-independent, so the result matches the sequential pass. Merge is
+// destructive: the shard's slabs are recycled into the pool, so the shard
+// must not be used afterwards.
 func (pa *PublicAvailability) Merge(shard Analyzer) {
 	o := shard.(*PublicAvailability)
-	pa.n24All = append(pa.n24All, o.n24All...)
-	pa.n24Strong = append(pa.n24Strong, o.n24Strong...)
-	pa.n5All = append(pa.n5All, o.n5All...)
-	pa.n5Strong = append(pa.n5Strong, o.n5Strong...)
+	pa.n24All = appendAllPooled(pa.n24All, o.n24All)
+	pa.n24Strong = appendAllPooled(pa.n24Strong, o.n24Strong)
+	pa.n5All = appendAllPooled(pa.n5All, o.n5All)
+	pa.n5Strong = appendAllPooled(pa.n5Strong, o.n5Strong)
+	o.Release()
 	for dev, v := range o.offloadable {
 		pa.offloadable[dev] += v
 	}

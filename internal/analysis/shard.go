@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"smartusage/internal/mempool"
 	"smartusage/internal/trace"
 )
 
@@ -52,11 +53,55 @@ func shardOf(dev trace.DeviceID, n int) int {
 	return int(x % uint64(n))
 }
 
+// Pools shared by every campaign analysis in the process. The shard engine
+// copies the whole campaign into memory (sample slabs plus arena chunks for
+// the per-sample Apps/APs slices); recycling those buffers across campaign
+// years and repeated runs is what keeps the parallel path's steady-state
+// allocation near the sequential path's, instead of 11x over it.
+var (
+	samplePool = mempool.NewSlicePool[trace.Sample](64)
+	apObsPool  = mempool.NewSlicePool[trace.APObs](256)
+	appPool    = mempool.NewSlicePool[trace.AppTraffic](256)
+	floatPool  = mempool.NewSlicePool[float64](64)
+)
+
+// shardPart is one device-partition of a campaign held in pooled memory:
+// the sample slab plus the arenas backing every sample's Apps/APs slices.
+type shardPart struct {
+	samples []trace.Sample
+	aps     mempool.Arena[trace.APObs]
+	apps    mempool.Arena[trace.AppTraffic]
+}
+
+// add deep-copies s into the part, growing the slab through the pool.
+func (p *shardPart) add(s *trace.Sample) {
+	if len(p.samples) == cap(p.samples) {
+		n := 2 * cap(p.samples)
+		if n < 1024 {
+			n = 1024
+		}
+		p.samples = samplePool.Grow(p.samples, n)
+	}
+	p.samples = append(p.samples, *s)
+	ns := &p.samples[len(p.samples)-1]
+	ns.Apps = p.apps.Append(s.Apps)
+	ns.APs = p.aps.Append(s.APs)
+}
+
+// release returns every buffer to the pools; the part is empty afterwards.
+func (p *shardPart) release() {
+	samplePool.Put(p.samples)
+	p.samples = nil
+	p.aps.Release()
+	p.apps.Release()
+}
+
 // Shards holds a campaign's samples decoded once and partitioned by device,
 // so both pipeline passes can stream from memory without touching the codec
-// again.
+// again. Its memory comes from process-wide pools: call Release when the
+// analyses are done so the next campaign reuses the slabs.
 type Shards struct {
-	parts [][]trace.Sample
+	parts []shardPart
 }
 
 // NewShards returns an empty n-way partition (n < 1 is treated as 1).
@@ -64,15 +109,19 @@ func NewShards(n int) *Shards {
 	if n < 1 {
 		n = 1
 	}
-	return &Shards{parts: make([][]trace.Sample, n)}
+	sh := &Shards{parts: make([]shardPart, n)}
+	for w := range sh.parts {
+		sh.parts[w].aps = mempool.NewArena(apObsPool)
+		sh.parts[w].apps = mempool.NewArena(appPool)
+	}
+	return sh
 }
 
 // Add routes one sample to its device's shard. The sample is deep-copied,
 // so Add is safe to use as a simulation sink or Source callback whose
 // *trace.Sample is reused. Not safe for concurrent use.
 func (sh *Shards) Add(s *trace.Sample) error {
-	w := shardOf(s.Device, len(sh.parts))
-	sh.parts[w] = append(sh.parts[w], *s.Clone())
+	sh.parts[shardOf(s.Device, len(sh.parts))].add(s)
 	return nil
 }
 
@@ -82,10 +131,21 @@ func (sh *Shards) NumShards() int { return len(sh.parts) }
 // Len returns the total number of samples held.
 func (sh *Shards) Len() int {
 	n := 0
-	for _, part := range sh.parts {
-		n += len(part)
+	for i := range sh.parts {
+		n += len(sh.parts[i].samples)
 	}
 	return n
+}
+
+// Release returns the partition's buffers to the process-wide pools. The
+// Shards (and every sample ever streamed from it) is invalid afterwards;
+// callers release only after all results are assembled. Analyzers honor this
+// by never retaining a sample's slices past Add — the merge contract's
+// retention rule (see DESIGN.md "Memory & pooling").
+func (sh *Shards) Release() {
+	for w := range sh.parts {
+		sh.parts[w].release()
+	}
 }
 
 // Source returns a restartable sequential stream replaying every shard in
@@ -93,7 +153,8 @@ func (sh *Shards) Len() int {
 // exactly one shard, and shards keep arrival order).
 func (sh *Shards) Source() Source {
 	return func(fn func(*trace.Sample) error) error {
-		for _, part := range sh.parts {
+		for w := range sh.parts {
+			part := sh.parts[w].samples
 			for i := range part {
 				if err := fn(&part[i]); err != nil {
 					return err
@@ -124,49 +185,94 @@ const (
 // errFanOutStopped aborts the source pass after a worker failure.
 var errFanOutStopped = errors.New("analysis: fan-out stopped")
 
-// fanOut streams src once on the calling goroutine, cloning each sample and
-// routing it by device hash to one of n worker goroutines. work runs on a
-// dedicated goroutine per shard and sees that shard's samples in stream
-// order. The source error takes precedence; otherwise the lowest-index
-// worker error is returned.
+// sampleBatch is one pooled unit of fan-out transfer: a slab of deep-copied
+// samples whose Apps/APs live in the batch's own arenas. Batches cycle
+// producer → worker → pool; the worker recycles the batch after work
+// returns, which is why analyzers must not retain sample slices past Add.
+type sampleBatch struct {
+	samples []trace.Sample
+	aps     mempool.Arena[trace.APObs]
+	apps    mempool.Arena[trace.AppTraffic]
+}
+
+// batchPool recycles fan-out batches across shards, runs, and campaigns.
+var batchPool = sync.Pool{New: func() any {
+	return &sampleBatch{
+		samples: samplePool.Get(fanOutBatch),
+		aps:     mempool.NewArena(apObsPool),
+		apps:    mempool.NewArena(appPool),
+	}
+}}
+
+// add deep-copies s into the batch.
+func (b *sampleBatch) add(s *trace.Sample) {
+	b.samples = append(b.samples, *s)
+	ns := &b.samples[len(b.samples)-1]
+	ns.Apps = b.apps.Append(s.Apps)
+	ns.APs = b.aps.Append(s.APs)
+}
+
+// recycle empties the batch and returns it to the pool.
+func (b *sampleBatch) recycle() {
+	b.samples = b.samples[:0]
+	b.aps.Release()
+	b.apps.Release()
+	batchPool.Put(b)
+}
+
+// fanOut streams src once on the calling goroutine, deep-copying each sample
+// into pooled batches routed by device hash to one of n worker goroutines.
+// work runs on a dedicated goroutine per shard and sees that shard's samples
+// in stream order; the batch is recycled the moment work returns. The source
+// error takes precedence; otherwise the lowest-index worker error is
+// returned.
 func fanOut(src Source, n int, work func(shard int, batch []trace.Sample) error) error {
-	chans := make([]chan []trace.Sample, n)
+	chans := make([]chan *sampleBatch, n)
 	errs := make([]error, n)
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
-		chans[w] = make(chan []trace.Sample, fanOutBacklog)
+		chans[w] = make(chan *sampleBatch, fanOutBacklog)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for batch := range chans[w] {
-				if errs[w] != nil {
-					continue // drain remaining batches after failure
+				if errs[w] == nil {
+					if err := work(w, batch.samples); err != nil {
+						errs[w] = err
+						stop.Store(true)
+					}
 				}
-				if err := work(w, batch); err != nil {
-					errs[w] = err
-					stop.Store(true)
-				}
+				batch.recycle()
 			}
 		}(w)
 	}
 
-	batches := make([][]trace.Sample, n)
+	batches := make([]*sampleBatch, n)
 	srcErr := src(func(s *trace.Sample) error {
 		if stop.Load() {
 			return errFanOutStopped
 		}
 		w := shardOf(s.Device, n)
-		batches[w] = append(batches[w], *s.Clone())
-		if len(batches[w]) >= fanOutBatch {
-			chans[w] <- batches[w]
+		b := batches[w]
+		if b == nil {
+			b = batchPool.Get().(*sampleBatch)
+			batches[w] = b
+		}
+		b.add(s)
+		if len(b.samples) >= fanOutBatch {
+			chans[w] <- b
 			batches[w] = nil
 		}
 		return nil
 	})
 	for w := 0; w < n; w++ {
-		if srcErr == nil && len(batches[w]) > 0 {
-			chans[w] <- batches[w]
+		if b := batches[w]; b != nil {
+			if srcErr == nil && len(b.samples) > 0 {
+				chans[w] <- b
+			} else {
+				b.recycle()
+			}
 		}
 		close(chans[w])
 	}
@@ -272,7 +378,7 @@ func RunShards(sh *Shards, prep *Prep, cleaned []Analyzer, raw []Analyzer) error
 		go func(w int) {
 			defer wg.Done()
 			ssp := traceStart("analysis:shard").OnTID(w + 1)
-			part := sh.parts[w]
+			part := sh.parts[w].samples
 			for i := range part {
 				dispatch(&part[i], prep, cleanedShards[w], rawShards[w])
 			}
@@ -302,7 +408,7 @@ func BuildPrepShards(meta Meta, sh *Shards, updateRelease *time.Time) (*Prep, er
 			defer wg.Done()
 			psp := traceStart("analysis:prep-shard").OnTID(w + 1)
 			ps := newPrepShard(meta, updateRelease)
-			part := sh.parts[w]
+			part := sh.parts[w].samples
 			for i := range part {
 				if err := ps.add(&part[i]); err != nil {
 					errs[w] = err

@@ -35,6 +35,9 @@ func benchCampaign(b *testing.B) (config.Campaign, analysis.Source, int) {
 // over the trace file, each decoding every sample.
 func BenchmarkAnalyzeCampaignSequential(b *testing.B) {
 	cfg, src, n := benchCampaign(b)
+	if _, err := core.AnalyzeCampaign(cfg, nil, src); err != nil { // warm analyzer pools
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	start := trace.DecodeCount()
 	for i := 0; i < b.N; i++ {
@@ -47,14 +50,20 @@ func BenchmarkAnalyzeCampaignSequential(b *testing.B) {
 	b.ReportMetric(perRun, "decodes/sample")
 }
 
-// BenchmarkAnalyzeCampaignParallel shards both passes across GOMAXPROCS
-// workers and verifies the single-decode guarantee: exactly one decode per
-// sample per run, against the sequential path's two.
+// BenchmarkAnalyzeCampaignParallel shards both passes across at least four
+// workers (more when GOMAXPROCS exceeds that) and verifies the single-decode
+// guarantee: exactly one decode per sample per run, against the sequential
+// path's two. A warmup run primes the process-wide shard pools, so the
+// committed one-iteration manifest records the steady state the pools are
+// designed for rather than the first campaign's slab faults.
 func BenchmarkAnalyzeCampaignParallel(b *testing.B) {
 	cfg, src, n := benchCampaign(b)
 	workers := runtime.GOMAXPROCS(0)
-	if workers < 2 {
-		workers = 2 // the single-decode shard path needs >= 2 workers
+	if workers < 4 {
+		workers = 4
+	}
+	if _, err := core.AnalyzeCampaignParallel(cfg, nil, src, workers); err != nil { // warm pools
+		b.Fatal(err)
 	}
 	b.ResetTimer()
 	start := trace.DecodeCount()

@@ -217,6 +217,14 @@ type analyzerSet struct {
 	raw     []analysis.Analyzer
 }
 
+// release recycles pooled analyzer accumulators once their results have been
+// extracted. Only analyzers whose Result deep-copies are releasable;
+// AssocDuration, for instance, aliases its accumulator into its result and
+// is deliberately absent.
+func (set *analyzerSet) release() {
+	set.publicAvail.Release()
+}
+
 func newAnalyzerSet(meta analysis.Meta, prep *analysis.Prep, release *time.Time) *analyzerSet {
 	set := &analyzerSet{
 		agg:         analysis.NewAggregate(meta),
@@ -282,6 +290,7 @@ func assembleRun(cfg config.Campaign, sm *sim.Simulator, prep *analysis.Prep, se
 		}
 		run.Survey = sv
 	}
+	set.release()
 	return run, nil
 }
 
@@ -329,8 +338,11 @@ func AnalyzeCampaignParallel(cfg config.Campaign, sm *sim.Simulator, src analysi
 }
 
 // AnalyzeCampaignShards runs the two-pass pipeline over pre-partitioned
-// in-memory shards, one goroutine per shard.
+// in-memory shards, one goroutine per shard. The shards are consumed: their
+// pooled storage is recycled before returning (successfully or not), so the
+// caller must not touch sh afterwards.
 func AnalyzeCampaignShards(cfg config.Campaign, sm *sim.Simulator, sh *analysis.Shards) (*CampaignRun, error) {
+	defer sh.Release()
 	meta := analysis.MetaFor(cfg)
 	release := updateRelease(cfg)
 	prep, err := analysis.BuildPrepShards(meta, sh, release)

@@ -1,0 +1,51 @@
+package proto
+
+import (
+	"testing"
+
+	"smartusage/internal/trace"
+)
+
+// TestBatchRoundTripSteadyStateAllocs pins the wire hot path's allocation
+// contract: a warm encode+decode round trip of a reused Batch allocates
+// nothing — the encode scratch comes from its pool, the decode target reuses
+// its sample slab and per-sample slices, and repeat ESSIDs hit the batch's
+// interner. This is the per-batch cost the agent and collector pay for every
+// upload.
+func TestBatchRoundTripSteadyStateAllocs(t *testing.T) {
+	in := Batch{BatchID: 7}
+	for i := 0; i < 64; i++ {
+		s := trace.Sample{
+			Device:    trace.DeviceID(100 + i%8),
+			OS:        trace.Android,
+			Time:      1_400_000_000 + int64(i)*600,
+			WiFiState: trace.WiFiOn,
+			CellRX:    uint64(1000 * i),
+			Apps: []trace.AppTraffic{
+				{Category: trace.CatVideo, Iface: trace.Cellular, RX: uint64(i)},
+			},
+			APs: []trace.APObs{
+				{BSSID: trace.BSSID(0x1000 + i%4), ESSID: "0000docomo", RSSI: -60, Channel: 1, Band: trace.Band24},
+				{BSSID: trace.BSSID(0x2000 + i%4), ESSID: "7SPOT", RSSI: -70, Channel: 6, Band: trace.Band24},
+			},
+			Battery: uint8(20 + i%80),
+		}
+		in.Samples = append(in.Samples, s)
+	}
+	var out Batch
+	var payload []byte
+	roundTrip := func() {
+		payload = AppendBatch(payload[:0], &in)
+		if err := DecodeBatch(payload, &out); err != nil {
+			panic(err)
+		}
+	}
+	roundTrip() // warm: scratch pool, decode slab, interner
+	allocs := testing.AllocsPerRun(100, roundTrip)
+	if allocs != 0 {
+		t.Fatalf("warm batch round trip allocates %.1f times per batch, want 0", allocs)
+	}
+	if len(out.Samples) != len(in.Samples) || out.Samples[63].APs[1].ESSID != "7SPOT" {
+		t.Fatal("round trip mangled the batch")
+	}
+}

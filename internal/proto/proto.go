@@ -29,6 +29,7 @@ import (
 	"hash/crc32"
 	"io"
 
+	"smartusage/internal/mempool"
 	"smartusage/internal/trace"
 )
 
@@ -106,9 +107,15 @@ type HelloAck struct {
 
 // Batch carries samples. BatchID must increase per device; the server
 // acknowledges and deduplicates by it.
+//
+// A Batch that is reused across DecodeBatch calls (the collector keeps one
+// per session) also carries its string interner, so repeat ESSIDs across a
+// session's batches share one allocation.
 type Batch struct {
 	BatchID uint64
 	Samples []trace.Sample
+
+	it trace.Interner
 }
 
 // BatchAck acknowledges a batch.
@@ -252,16 +259,21 @@ func DecodeHelloAck(buf []byte, a *HelloAck) error {
 	return d.finish("hello-ack")
 }
 
+// sampleScratch recycles AppendBatch's per-sample encode buffer across
+// calls (and across the agent's batches).
+var sampleScratch = mempool.NewSlicePool[byte](8)
+
 // AppendBatch encodes b.
 func AppendBatch(dst []byte, b *Batch) []byte {
 	dst = binary.AppendUvarint(dst, b.BatchID)
 	dst = binary.AppendUvarint(dst, uint64(len(b.Samples)))
-	var sample []byte
+	sample := sampleScratch.Get(256)
 	for i := range b.Samples {
 		sample = trace.AppendSample(sample[:0], &b.Samples[i])
 		dst = binary.AppendUvarint(dst, uint64(len(sample)))
 		dst = append(dst, sample...)
 	}
+	sampleScratch.Put(sample)
 	return dst
 }
 
@@ -282,7 +294,7 @@ func DecodeBatch(buf []byte, b *Batch) error {
 		if d.err != nil {
 			break
 		}
-		used, err := trace.DecodeSample(raw, &b.Samples[i])
+		used, err := trace.DecodeSampleInterned(raw, &b.Samples[i], &b.it)
 		if err != nil {
 			return fmt.Errorf("proto: batch sample %d: %w", i, err)
 		}

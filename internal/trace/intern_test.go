@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+)
+
+func internSample() *Sample {
+	return &Sample{
+		Device:    42,
+		OS:        Android,
+		Time:      1_400_000_000,
+		WiFiState: WiFiOn,
+		CellRX:    12345,
+		Apps: []AppTraffic{
+			{Category: CatVideo, Iface: Cellular, RX: 1000, TX: 50},
+			{Category: CatBrowser, Iface: WiFi, RX: 2000},
+		},
+		APs: []APObs{
+			{BSSID: 0x1001, ESSID: "0000docomo", RSSI: -60, Channel: 1, Band: Band24},
+			{BSSID: 0x1002, ESSID: "aterm-home", RSSI: -48, Channel: 6, Band: Band24, Associated: false},
+			{BSSID: 0x1003, ESSID: "0000docomo", RSSI: -71, Channel: 11, Band: Band5},
+		},
+		Battery: 70,
+	}
+}
+
+// TestDecodeSampleInternedSteadyStateAllocs pins the decode hot path's
+// allocation contract: with a warm interner and a reused Sample, decoding
+// allocates nothing — repeat ESSIDs reuse interned strings and the slices
+// reuse their capacity. This is the per-sample cost BuildPrepParallel and
+// ShardSamples pay once per trace decode.
+func TestDecodeSampleInternedSteadyStateAllocs(t *testing.T) {
+	enc := AppendSample(nil, internSample())
+	var out Sample
+	var it Interner
+	if _, err := DecodeSampleInterned(enc, &out, &it); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := DecodeSampleInterned(enc, &out, &it); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm interned decode allocates %.1f times per sample, want 0", allocs)
+	}
+}
+
+// TestInternerDeduplicates checks repeat lookups return the same value and
+// that the decode path wires the interner through: two observations of the
+// same ESSID in one sample decode to equal strings.
+func TestInternerDeduplicates(t *testing.T) {
+	var it Interner
+	a := it.Intern([]byte("0000docomo"))
+	b := it.Intern([]byte("0000docomo"))
+	if a != b || a != "0000docomo" {
+		t.Fatalf("intern broke equality: %q vs %q", a, b)
+	}
+	enc := AppendSample(nil, internSample())
+	var out Sample
+	if _, err := DecodeSampleInterned(enc, &out, &it); err != nil {
+		t.Fatal(err)
+	}
+	if out.APs[0].ESSID != "0000docomo" || out.APs[2].ESSID != "0000docomo" {
+		t.Fatalf("decoded ESSIDs wrong: %q, %q", out.APs[0].ESSID, out.APs[2].ESSID)
+	}
+}
+
+// TestInternerTableReset floods the interner past its entry cap and checks
+// it keeps returning correct values (the cap only bounds memory; a hostile
+// stream degrades to non-interned behaviour, never wrong strings).
+func TestInternerTableReset(t *testing.T) {
+	var it Interner
+	for i := 0; i < maxInternEntries+100; i++ {
+		s := fmt.Sprintf("essid-%d", i)
+		if got := it.Intern([]byte(s)); got != s {
+			t.Fatalf("Intern(%q) = %q after %d inserts", s, got, i)
+		}
+	}
+	if got := it.Intern([]byte("after-reset")); got != "after-reset" {
+		t.Fatalf("post-reset intern broken: %q", got)
+	}
+}
