@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-diff check lint smuvet fmt-check bench-smoke fuzz-smoke chaos crash report experiments experiments-full clean
+.PHONY: all build vet test test-short bench bench-json bench-diff bench-multicore check lint smuvet fmt-check bench-smoke fuzz-smoke chaos crash report experiments experiments-full ingest-smoke ingest-json clean
 
 all: build vet test
 
@@ -35,7 +35,7 @@ bench-smoke:
 # away. One iteration is smoke-grade — it anchors allocation counts exactly
 # but ns/op only roughly; use `make bench` on a quiet machine for real
 # timings.
-BENCH_JSON ?= BENCH_6.json
+BENCH_JSON ?= BENCH_7.json
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
@@ -48,6 +48,24 @@ BENCH_DIFF_OUT ?= bench-current.json
 bench-diff:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./... | \
 		$(GO) run ./cmd/benchjson -o $(BENCH_DIFF_OUT) -diff $(BENCH_JSON)
+
+# Multi-core scaling gate: times the sharded analysis path against the
+# sequential one and (on >= 4 cores) asserts a >= 2x speedup. On smaller
+# machines the ratio is logged but not enforced.
+bench-multicore:
+	$(GO) test -run TestMultiCoreSpeedup -count=1 -v ./internal/core
+
+# Ingest load test: 1000 concurrent agents replayed against an in-process
+# WAL-backed collector through the real retry/spool machinery; fails on any
+# conservation error or a samples/sec below the floor. ingest-json writes the
+# committed throughput anchor (INGEST_7.json).
+INGEST_JSON ?= INGEST_7.json
+INGEST_MIN_RATE ?= 5000
+ingest-smoke:
+	$(GO) run ./cmd/loadgen -agents 1000 -batches 6 -batch 24 -wal -min-rate $(INGEST_MIN_RATE) -out ingest-current.json
+
+ingest-json:
+	$(GO) run ./cmd/loadgen -agents 1000 -batches 6 -batch 24 -wal -min-rate $(INGEST_MIN_RATE) -out $(INGEST_JSON)
 
 # Short fuzz pass over every fuzz target: catches decoder panics and
 # round-trip regressions without a dedicated fuzzing farm.
@@ -98,6 +116,7 @@ check: lint
 	$(MAKE) fuzz-smoke
 	$(MAKE) chaos
 	$(MAKE) crash
+	$(MAKE) ingest-smoke
 
 # Regenerate EXPERIMENTS.md at the reference scale.
 experiments:
@@ -108,8 +127,10 @@ experiments-full:
 	$(GO) run ./cmd/report -scale 1.0 -seed 1 -workers -1 -tracedir /tmp/smartusage-traces -o EXPERIMENTS.md
 
 # Removes run artifacts from the repo root (collectd spool/WAL dirs as named
-# in the docs, report/agentsim outputs) and soak scratch left in TMPDIR by
-# killed test runs (a completed run cleans its own t.TempDir).
+# in the docs, report/agentsim outputs, loadgen manifests), loadgen scratch
+# kept via -scratch, and soak scratch left in TMPDIR by killed test runs (a
+# completed run cleans its own t.TempDir; loadgen deletes its own temp dir
+# unless killed mid-run).
 clean:
-	rm -f campaign-*.trace campaign-*.jsonl collected.trace bench-current.json
-	rm -rf spool wal $${TMPDIR:-/tmp}/TestChaosSoak* $${TMPDIR:-/tmp}/TestCrashRestartSoak*
+	rm -f campaign-*.trace campaign-*.jsonl collected.trace bench-current.json ingest-current.json
+	rm -rf spool wal loadgen-scratch $${TMPDIR:-/tmp}/TestChaosSoak* $${TMPDIR:-/tmp}/TestCrashRestartSoak* $${TMPDIR:-/tmp}/loadgen-*

@@ -1,0 +1,555 @@
+// Command loadgen stress-tests the ingest path: it replays many concurrent
+// synthetic agents against a collector — an in-process one by default, or a
+// running collectd over TCP via -addr — driving every upload through the real
+// agent batching/retry/spool machinery and the real wire protocol.
+//
+// It reports client-side ack latency percentiles (p50/p95/p99/max, measured
+// per batch flush), sustained samples/sec, and server-side counters scraped
+// from the obs /metrics endpoint, then cross-checks exactly-once
+// conservation: every sample the fleet reports uploaded must be accepted by
+// the collector exactly once (frames == accepted + duplicates, accepted
+// samples == fleet uploads, sink receipt == acceptance). Any imbalance
+// counts as a conservation error and fails the run.
+//
+// The results are written as a machine-readable manifest (-out), committed
+// next to BENCH_*.json as INGEST_*.json — the ingest performance anchor:
+//
+//	loadgen -agents 1000 -batches 6 -batch 24 -wal -out INGEST.json
+//	loadgen -addr collectd.host:7020 -metrics http://collectd.host:9090 -token s3cret
+//
+// In-process mode spins up the collector with a rotating spool (and, with
+// -wal, a write-ahead log whose "batch" fsync policy exercises group commit
+// under concurrent connections) in a scratch directory that is deleted on
+// exit unless -scratch names a path to keep.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smartusage/internal/agent"
+	"smartusage/internal/collector"
+	"smartusage/internal/obs"
+	"smartusage/internal/trace"
+	"smartusage/internal/wal"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("loadgen: ")
+	var (
+		addr      = flag.String("addr", "", "collectd address to load (empty starts an in-process collector)")
+		metrics   = flag.String("metrics", "", "metrics endpoint base URL to scrape (default: the in-process one; required with -addr for server-side counters)")
+		agents    = flag.Int("agents", 1000, "concurrent synthetic agents")
+		batches   = flag.Int("batches", 6, "batches each agent uploads")
+		batch     = flag.Int("batch", 24, "samples per batch")
+		aps       = flag.Int("aps", 2, "AP observations per sample")
+		essids    = flag.Int("essids", 512, "distinct ESSID universe")
+		token     = flag.String("token", "", "shared auth token")
+		seed      = flag.Int64("seed", 1, "workload rng seed (same seed, same samples)")
+		scratch   = flag.String("scratch", "", "scratch dir for in-process collector state (kept; empty uses a deleted temp dir)")
+		useWAL    = flag.Bool("wal", false, "give the in-process collector a write-ahead log")
+		fsync     = flag.String("fsync", "batch", "WAL fsync policy: batch (group commit), interval, or off")
+		fsyncLag  = flag.Duration("fsync-delay", 0, "emulate slow-disk fsync by sleeping this long per WAL fsync (shows group-commit coalescing on fast disks)")
+		spool     = flag.Bool("agent-spool", false, "journal each agent's queue to a disk spool in scratch")
+		out       = flag.String("out", "", "write the JSON manifest here (stdout always gets a summary)")
+		minRate   = flag.Float64("min-rate", 0, "fail unless samples/sec reaches this floor (0 disables)")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "overall run deadline")
+		keepalive = flag.Duration("read-timeout", 30*time.Second, "in-process collector per-frame read deadline")
+	)
+	flag.Parse()
+
+	if *agents <= 0 || *batches <= 0 || *batch <= 0 {
+		log.Fatal("-agents, -batches, and -batch must be positive")
+	}
+
+	// --- target: in-process collector, or a remote one ---------------------
+	scrapeURL := *metrics
+	target := *addr
+	var (
+		cleanup  func()
+		sunk     atomic.Int64
+		walLog   *wal.Log
+		inProcSt func() *collector.Stats
+	)
+	if target == "" {
+		dir := *scratch
+		if dir == "" {
+			d, err := os.MkdirTemp("", "loadgen-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			dir = d
+			defer os.RemoveAll(d)
+		} else if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+
+		reg := obs.NewRegistry()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		msrv := &http.Server{Handler: obs.Handler(reg, nil)}
+		go msrv.Serve(ln)
+		if scrapeURL == "" {
+			scrapeURL = "http://" + ln.Addr().String()
+		}
+
+		sp, err := collector.NewRotatingSpool(filepath.Join(dir, "spool"), 256<<20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spSink := sp.Sink()
+		if *useWAL {
+			policy, err := wal.ParsePolicy(*fsync)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts := wal.Options{
+				Policy:      policy,
+				Metrics:     reg,
+				MetricsName: "collector",
+			}
+			if d := *fsyncLag; d > 0 {
+				// On fast local disks fsync returns in microseconds, so
+				// group-commit rounds rarely overlap and the fsyncs/appends
+				// ratio stays near 1. This hook stretches each fsync to a
+				// realistic spinning-disk latency so coalescing is visible
+				// in the manifest.
+				opts.Hook = func(point string) error {
+					if point == "group-fsync" {
+						time.Sleep(d)
+					}
+					return nil
+				}
+			}
+			walLog, err = wal.Open(filepath.Join(dir, "wal"), opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		srv, err := collector.New(collector.Config{
+			Addr:  "127.0.0.1:0",
+			Token: *token,
+			Sink: func(s *trace.Sample) error {
+				sunk.Add(1)
+				return spSink(s)
+			},
+			ReadTimeout: *keepalive,
+			MaxConns:    *agents + 16,
+			WAL:         walLog,
+			Metrics:     reg,
+			Logf:        func(string, ...any) {},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.Listen(); err != nil {
+			log.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		served := make(chan struct{})
+		go func() {
+			defer close(served)
+			srv.Serve(ctx)
+		}()
+		target = srv.Addr().String()
+		inProcSt = srv.Stats
+		cleanup = func() {
+			cancel()
+			<-served
+			if walLog != nil {
+				walLog.Close()
+			}
+			sp.Close()
+			msrv.Close()
+		}
+		log.Printf("in-process collector on %s (scratch %s, wal=%v fsync=%s), metrics %s",
+			target, dir, *useWAL, *fsync, scrapeURL)
+	}
+
+	before, err := scrape(scrapeURL)
+	if err != nil && scrapeURL != "" {
+		log.Fatalf("scrape %s: %v", scrapeURL, err)
+	}
+
+	// --- drive the fleet ---------------------------------------------------
+	deadline := time.After(*timeout)
+	fleetDone := make(chan fleetResult, 1)
+	go func() {
+		fleetDone <- runFleet(target, *token, *agents, *batches, *batch, *aps, *essids, *seed, *spool, *scratch)
+	}()
+	var fleet fleetResult
+	select {
+	case fleet = <-fleetDone:
+	case <-deadline:
+		log.Fatalf("run exceeded -timeout %s", *timeout)
+	}
+
+	after, err := scrape(scrapeURL)
+	if err != nil && scrapeURL != "" {
+		log.Fatalf("scrape %s: %v", scrapeURL, err)
+	}
+	if cleanup != nil {
+		cleanup()
+	}
+
+	// --- reconcile ---------------------------------------------------------
+	man := buildManifest(fleet, before, after, *agents, *batches, *batch)
+	if inProcSt != nil {
+		st := inProcSt()
+		man.Server.SinkSamples = sunk.Load()
+		if sunk.Load() != fleet.uploaded {
+			man.conservation("sink received %d samples, fleet uploaded %d", sunk.Load(), fleet.uploaded)
+		}
+		if st.SinkErrs.Load() != 0 {
+			man.conservation("%d sink errors", st.SinkErrs.Load())
+		}
+	}
+	if walLog != nil {
+		man.WAL = &walManifest{Fsync: *fsync, Appends: diffCounter(before, after, "wal_appends_total"), Fsyncs: diffCounter(before, after, "wal_fsyncs_total")}
+	}
+
+	data, jerr := json.MarshalIndent(map[string]*manifest{"loadgen": man}, "", "  ")
+	if jerr != nil {
+		log.Fatal(jerr)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	os.Stdout.Write(data)
+
+	log.Printf("%d agents x %d batches x %d samples: %.0f samples/sec, ack p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms, %d retries, %d conservation errors",
+		*agents, *batches, *batch, man.SamplesPerSec,
+		man.AckLatencyMS.P50, man.AckLatencyMS.P95, man.AckLatencyMS.P99, man.AckLatencyMS.Max,
+		man.Client.Retries, len(man.ConservationErrors))
+	for _, e := range man.ConservationErrors {
+		log.Printf("CONSERVATION: %s", e)
+	}
+	if len(man.ConservationErrors) > 0 {
+		os.Exit(1)
+	}
+	if *minRate > 0 && man.SamplesPerSec < *minRate {
+		log.Printf("FAIL: %.0f samples/sec under the -min-rate floor %.0f", man.SamplesPerSec, *minRate)
+		os.Exit(1)
+	}
+}
+
+// fleetResult aggregates the client side of a run.
+type fleetResult struct {
+	latencies []time.Duration // one per batch flush, all agents
+	duration  time.Duration
+	uploaded  int64
+	recorded  int64
+	dropped   int64
+	retries   int64
+	spoolErrs int64
+	failures  int64 // agents that errored (flush after retries, or close)
+	errs      []string
+}
+
+// runFleet spawns the agents, runs every upload, and merges their stats.
+func runFleet(target, token string, agents, batches, batchSz, aps, essids int, seed int64, spool bool, scratch string) fleetResult {
+	var (
+		mu  sync.Mutex
+		res fleetResult
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < agents; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lats, st, err := runAgent(target, token, i, batches, batchSz, aps, essids, seed, spool, scratch)
+			mu.Lock()
+			defer mu.Unlock()
+			res.latencies = append(res.latencies, lats...)
+			res.uploaded += int64(st.Uploaded)
+			res.recorded += int64(st.Recorded)
+			res.dropped += int64(st.Dropped)
+			res.retries += int64(st.Retries)
+			res.spoolErrs += int64(st.SpoolErrs)
+			if err != nil {
+				res.failures++
+				if len(res.errs) < 8 {
+					res.errs = append(res.errs, err.Error())
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	res.duration = time.Since(start)
+	return res
+}
+
+// runAgent is one synthetic handset: batches uploads of batchSz samples
+// each, every flush timed as one ack latency observation.
+func runAgent(target, token string, idx, batches, batchSz, aps, essids int, seed int64, spool bool, scratch string) ([]time.Duration, agent.Stats, error) {
+	cfg := agent.Config{
+		Server:    target,
+		Device:    trace.DeviceID(1 + idx),
+		OS:        trace.Android,
+		Token:     token,
+		BatchSize: 1 << 30, // flush manually so each batch is one timed upload
+		MaxCache:  batchSz * (batches + 1),
+	}
+	if spool {
+		cfg.SpoolDir = filepath.Join(scratch, "agent-spool", fmt.Sprintf("a%05d", idx))
+	}
+	a, err := agent.New(cfg)
+	if err != nil {
+		return nil, agent.Stats{}, err
+	}
+	rng := rand.New(rand.NewSource(seed + int64(idx)))
+	lats := make([]time.Duration, 0, batches)
+	t := int64(1_400_000_000) + int64(idx)
+	var firstErr error
+	for b := 0; b < batches; b++ {
+		for s := 0; s < batchSz; s++ {
+			smp := synthSample(rng, t, aps, essids)
+			a.Record(&smp)
+			t += 600
+		}
+		t0 := time.Now()
+		err := a.Flush()
+		lats = append(lats, time.Since(t0))
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := a.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return lats, a.Stats(), firstErr
+}
+
+// synthSample produces one valid sample: a phone associated to one of the
+// ESSID universe's APs with a couple of scan results, modest cellular and
+// WiFi traffic, and app counters that stay within the interface totals.
+func synthSample(rng *rand.Rand, t int64, aps, essids int) trace.Sample {
+	s := trace.Sample{
+		OS:        trace.Android,
+		Time:      t,
+		GeoCX:     int16(rng.Intn(100)),
+		GeoCY:     int16(rng.Intn(100)),
+		WiFiState: trace.WiFiAssociated,
+		RAT:       trace.RATLTE,
+		CellRX:    uint64(rng.Intn(1 << 16)),
+		CellTX:    uint64(rng.Intn(1 << 12)),
+		WiFiRX:    uint64(rng.Intn(1 << 20)),
+		WiFiTX:    uint64(rng.Intn(1 << 14)),
+		Battery:   uint8(rng.Intn(101)),
+	}
+	s.Apps = []trace.AppTraffic{
+		{Category: trace.CatVideo, Iface: trace.WiFi, RX: s.WiFiRX / 2, TX: s.WiFiTX / 2},
+		{Category: trace.CatBrowser, Iface: trace.Cellular, RX: s.CellRX / 2, TX: s.CellTX / 2},
+	}
+	for j := 0; j < aps; j++ {
+		id := rng.Intn(essids)
+		s.APs = append(s.APs, trace.APObs{
+			BSSID:      trace.BSSID(0x1000 + id),
+			ESSID:      fmt.Sprintf("ap-%04d", id),
+			RSSI:       int8(-40 - rng.Intn(50)),
+			Channel:    uint8(1 + rng.Intn(11)),
+			Band:       trace.Band24,
+			Associated: j == 0,
+		})
+	}
+	return s
+}
+
+// --- manifest ---------------------------------------------------------------
+
+type latencyManifest struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+type clientManifest struct {
+	Uploaded  int64 `json:"uploaded_samples"`
+	Recorded  int64 `json:"recorded_samples"`
+	Dropped   int64 `json:"dropped_samples"`
+	Retries   int64 `json:"retries"`
+	SpoolErrs int64 `json:"spool_errors"`
+	Failures  int64 `json:"agent_failures"`
+}
+
+type serverManifest struct {
+	Frames      int64 `json:"batch_frames"`
+	Accepted    int64 `json:"accepted_batches"`
+	DupBatches  int64 `json:"dup_batches"`
+	Samples     int64 `json:"accepted_samples"`
+	SinkSamples int64 `json:"sink_samples,omitempty"`
+	ConnErrs    int64 `json:"conn_errors"`
+	SinkErrs    int64 `json:"sink_errors"`
+	AuthFails   int64 `json:"auth_failures"`
+}
+
+type walManifest struct {
+	Fsync   string `json:"fsync"`
+	Appends int64  `json:"appends"`
+	Fsyncs  int64  `json:"fsyncs"`
+}
+
+type manifest struct {
+	Agents             int             `json:"agents"`
+	BatchesPerAgent    int             `json:"batches_per_agent"`
+	SamplesPerBatch    int             `json:"samples_per_batch"`
+	DurationSeconds    float64         `json:"duration_seconds"`
+	SamplesPerSec      float64         `json:"samples_per_sec"`
+	BatchesPerSec      float64         `json:"batches_per_sec"`
+	AckLatencyMS       latencyManifest `json:"ack_latency_ms"`
+	Client             clientManifest  `json:"client"`
+	Server             serverManifest  `json:"server"`
+	WAL                *walManifest    `json:"wal,omitempty"`
+	ConservationErrors []string        `json:"conservation_errors"`
+}
+
+func (m *manifest) conservation(format string, args ...any) {
+	m.ConservationErrors = append(m.ConservationErrors, fmt.Sprintf(format, args...))
+}
+
+// buildManifest reconciles the fleet's view with the scraped server deltas.
+func buildManifest(fleet fleetResult, before, after *obs.Snapshot, agents, batches, batchSz int) *manifest {
+	m := &manifest{
+		Agents:             agents,
+		BatchesPerAgent:    batches,
+		SamplesPerBatch:    batchSz,
+		DurationSeconds:    fleet.duration.Seconds(),
+		ConservationErrors: []string{},
+		Client: clientManifest{
+			Uploaded:  fleet.uploaded,
+			Recorded:  fleet.recorded,
+			Dropped:   fleet.dropped,
+			Retries:   fleet.retries,
+			SpoolErrs: fleet.spoolErrs,
+			Failures:  fleet.failures,
+		},
+	}
+	if fleet.duration > 0 {
+		m.SamplesPerSec = float64(fleet.uploaded) / fleet.duration.Seconds()
+		m.BatchesPerSec = float64(len(fleet.latencies)) / fleet.duration.Seconds()
+	}
+	sort.Slice(fleet.latencies, func(i, j int) bool { return fleet.latencies[i] < fleet.latencies[j] })
+	m.AckLatencyMS = latencyManifest{
+		P50: ms(pct(fleet.latencies, 50)),
+		P95: ms(pct(fleet.latencies, 95)),
+		P99: ms(pct(fleet.latencies, 99)),
+		Max: ms(pct(fleet.latencies, 100)),
+	}
+
+	expected := int64(agents) * int64(batches) * int64(batchSz)
+	if fleet.recorded != expected {
+		m.conservation("fleet recorded %d samples, expected %d", fleet.recorded, expected)
+	}
+	if fleet.uploaded != fleet.recorded {
+		m.conservation("fleet uploaded %d of %d recorded samples", fleet.uploaded, fleet.recorded)
+	}
+	if fleet.dropped != 0 {
+		m.conservation("fleet dropped %d samples", fleet.dropped)
+	}
+	if fleet.failures != 0 {
+		m.conservation("%d agents failed: %v", fleet.failures, fleet.errs)
+	}
+
+	if after != nil {
+		m.Server = serverManifest{
+			Frames:     diffCounter(before, after, "collector_batch_frames_total"),
+			Accepted:   diffCounter(before, after, "collector_accepted_batches_total"),
+			DupBatches: diffCounter(before, after, "collector_dup_batches_total"),
+			Samples:    diffCounter(before, after, "collector_samples_total"),
+			ConnErrs:   diffCounter(before, after, "collector_conn_errors_total"),
+			SinkErrs:   diffCounter(before, after, "collector_sink_errors_total"),
+			AuthFails:  diffCounter(before, after, "collector_auth_fails_total"),
+		}
+		// The exactly-once ledger: every frame is either a fresh acceptance
+		// or a deduplicated replay, and accepted samples equal the fleet's
+		// uploads — no loss, no double count, even under retries.
+		if m.Server.Frames != m.Server.Accepted+m.Server.DupBatches {
+			m.conservation("server frames %d != accepted %d + dups %d",
+				m.Server.Frames, m.Server.Accepted, m.Server.DupBatches)
+		}
+		if m.Server.Samples != fleet.uploaded {
+			m.conservation("server accepted %d samples, fleet uploaded %d", m.Server.Samples, fleet.uploaded)
+		}
+		if m.Server.SinkErrs != 0 {
+			m.conservation("%d server sink errors", m.Server.SinkErrs)
+		}
+		if m.Server.AuthFails != 0 {
+			m.conservation("%d auth failures", m.Server.AuthFails)
+		}
+	}
+	return m
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+// pct is the exact nearest-rank percentile of a sorted slice.
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := (len(sorted)*p + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// scrape fetches and parses the JSON metrics exposition. An empty URL (no
+// endpoint to scrape, remote mode without -metrics) yields nil.
+func scrape(base string) (*obs.Snapshot, error) {
+	if base == "" {
+		return nil, nil
+	}
+	resp, err := http.Get(base + "/metrics?format=json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics endpoint: %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseJSON(body)
+}
+
+// diffCounter is a counter's delta across the run; a nil before treats the
+// run as starting from zero.
+func diffCounter(before, after *obs.Snapshot, name string) int64 {
+	var b int64
+	if before != nil {
+		b = before.CounterTotal(name)
+	}
+	if after == nil {
+		return 0
+	}
+	return after.CounterTotal(name) - b
+}

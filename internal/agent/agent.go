@@ -153,6 +153,7 @@ type Agent struct {
 
 	spool    *wal.Log // disk journal of the queue; nil without SpoolDir
 	spoolBuf []byte
+	encBuf   []byte // batch encode scratch, reused across flushes
 
 	conn      net.Conn
 	pc        *proto.Conn
@@ -228,7 +229,17 @@ func (a *Agent) Pending() int { return len(a.pending) + len(a.inflight) }
 // when the batch threshold is reached. A failed flush keeps the samples
 // cached; Record itself never fails.
 func (a *Agent) Record(s *trace.Sample) {
-	cp := *s.Clone()
+	// Copy slices but not strings: the caller's ESSIDs are ordinary
+	// immutable strings (agents produce samples, they don't alias-decode
+	// them), so the deep string copy Clone does for the collector's
+	// zero-copy path would be one allocation per AP of pure waste here.
+	cp := *s
+	if s.Apps != nil {
+		cp.Apps = append([]trace.AppTraffic(nil), s.Apps...)
+	}
+	if s.APs != nil {
+		cp.APs = append([]trace.APObs(nil), s.APs...)
+	}
 	cp.Device = a.cfg.Device
 	cp.OS = a.cfg.OS
 	if a.cfg.OS == trace.IOS {
@@ -351,7 +362,8 @@ func (a *Agent) flushInflight() error {
 	}
 	a.inflightSent = true
 	b := proto.Batch{BatchID: a.inflightID, Samples: a.inflight}
-	payload := proto.AppendBatch(nil, &b)
+	a.encBuf = proto.AppendBatch(a.encBuf[:0], &b)
+	payload := a.encBuf
 	a.conn.SetDeadline(time.Now().Add(a.cfg.IOTimeout))
 	if err := a.pc.WriteFrame(proto.FrameBatch, payload); err != nil {
 		return fmt.Errorf("agent: send batch: %w", err)

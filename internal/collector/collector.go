@@ -24,7 +24,9 @@ import (
 
 // Sink receives accepted samples. Implementations must be safe for
 // sequential calls under the collector's internal lock; the sample is reused
-// and must be copied if retained.
+// — and its string fields alias the connection's frame buffer (zero-copy
+// decode) — so a sink that retains anything past its own return must deep
+// copy it (Sample.Clone, or string([]byte(...)) per retained string).
 type Sink func(*trace.Sample) error
 
 // Config configures a Server.
@@ -383,17 +385,30 @@ func (s *Server) handle(ctx context.Context, nc net.Conn) error {
 		case proto.FrameBye:
 			return nil
 		case proto.FrameBatch:
-			if err := proto.DecodeBatch(payload, &batch); err != nil {
+			// Zero-copy: sample ESSIDs alias payload (the connection's reused
+			// frame buffer). accept() fully consumes the batch — WAL record
+			// re-encoded into its own buffer, sinks copy what they retain —
+			// before the next ReadFrame overwrites it.
+			if err := proto.DecodeBatchAlias(payload, &batch); err != nil {
 				return s.fail(nc, c, "bad batch: %v", err)
 			}
 			s.m.bytes.Add(int64(len(payload)))
 			dm.bytes.Add(int64(len(payload)))
-			accepted, err := s.accept(hello.Device, &batch)
+			accepted, commitSeq, err := s.accept(hello.Device, &batch)
 			if err != nil {
 				if errors.Is(err, errBadBatch) {
 					return s.fail(nc, c, "bad batch: %v", err)
 				}
 				return fmt.Errorf("sink: %w", err)
+			}
+			if s.cfg.WAL != nil {
+				// Group commit: the server lock is released, so this fsync
+				// wait coalesces with commits from concurrent connections.
+				// Must precede the ack — WAL-durable-before-ack is the
+				// exactly-once invariant recovery depends on.
+				if err := s.cfg.WAL.Commit(commitSeq); err != nil {
+					return fmt.Errorf("wal commit: %w", err)
+				}
 			}
 			if s.cfg.Hook != nil {
 				// Crash point: the batch is committed (WAL + sink +
@@ -460,7 +475,12 @@ func (s *Server) deviceLocked(dev trace.DeviceID) *deviceState {
 var errBadBatch = errors.New("invalid batch")
 
 // accept deduplicates and spools a batch, returning how many samples were
-// newly accepted.
+// newly accepted plus a WAL commit token (0 when nothing needs committing).
+// accept runs under s.mu, so it must not wait on an fsync — it appends
+// asynchronously and the caller commits the token after the lock is
+// released, letting concurrent connections share group-commit fsync rounds.
+// The ack is only written after Commit returns, so the durable-before-ack
+// ordering is unchanged.
 //
 // The whole batch is validated before any sample reaches the sink: a
 // poisoned mid-batch sample must reject the batch atomically, because a
@@ -468,14 +488,14 @@ var errBadBatch = errors.New("invalid batch")
 // already-spooled prefix, breaking exactly-once delivery. Sink failures
 // after validation record how far the batch got (deviceState.partialNext)
 // so the retry resumes exactly at the first unsinked sample.
-func (s *Server) accept(dev trace.DeviceID, b *proto.Batch) (uint32, error) {
+func (s *Server) accept(dev trace.DeviceID, b *proto.Batch) (uint32, int64, error) {
 	for i := range b.Samples {
 		sample := &b.Samples[i]
 		if sample.Device != dev {
-			return 0, fmt.Errorf("%w: sample %d device %s != session device %s", errBadBatch, i, sample.Device, dev)
+			return 0, 0, fmt.Errorf("%w: sample %d device %s != session device %s", errBadBatch, i, sample.Device, dev)
 		}
 		if err := sample.Validate(); err != nil {
-			return 0, fmt.Errorf("%w: sample %d: %v", errBadBatch, i, err)
+			return 0, 0, fmt.Errorf("%w: sample %d: %v", errBadBatch, i, err)
 		}
 	}
 
@@ -487,10 +507,12 @@ func (s *Server) accept(dev trace.DeviceID, b *proto.Batch) (uint32, error) {
 	st.batches++
 	st.m.frames.Inc()
 	if st.haveLast && b.BatchID <= st.lastBatch {
+		// A dup was acked before, and acks only follow a commit, so its WAL
+		// record is already durable: no commit token needed.
 		s.stats.DupBatches.Add(1)
 		s.m.dups.Inc()
 		st.m.dups.Inc()
-		return 0, nil
+		return 0, 0, nil
 	}
 	start := 0
 	if st.partialID == b.BatchID && st.partialNext > 0 {
@@ -501,20 +523,30 @@ func (s *Server) accept(dev trace.DeviceID, b *proto.Batch) (uint32, error) {
 			start = len(b.Samples)
 		}
 	}
-	if s.cfg.WAL != nil && start == 0 {
-		// Durability point: the batch enters the WAL before the first
-		// sample reaches the sink and before the ack is written, so a
-		// crash from here on can always rebuild it. A partial-sink resume
-		// (start > 0) skips the append — the first attempt logged it.
-		s.walBuf = appendBatchRec(s.walBuf[:0], dev, b)
-		if _, err := s.cfg.WAL.Append(recBatch, s.walBuf); err != nil {
-			return 0, fmt.Errorf("wal append: %w", err)
+	var commitSeq int64
+	if s.cfg.WAL != nil {
+		if start == 0 {
+			// Durability point: the batch enters the WAL (flushed to the OS
+			// here, fsynced by the caller's Commit before the ack) ahead of
+			// the first sample reaching the sink, so a crash from here on
+			// can always rebuild it.
+			s.walBuf = appendBatchRec(s.walBuf[:0], dev, b)
+			var err error
+			if _, commitSeq, err = s.cfg.WAL.AppendAsync(recBatch, s.walBuf); err != nil {
+				return 0, 0, fmt.Errorf("wal append: %w", err)
+			}
+		} else {
+			// Partial-sink resume: the first attempt appended the record but
+			// its connection died before committing, so the record may still
+			// be unsynced. A barrier token makes the caller's Commit cover it
+			// before this attempt's ack.
+			commitSeq = s.cfg.WAL.Barrier()
 		}
 	}
 	if s.cfg.Hook != nil {
-		// Crash point: batch durable in the WAL, nothing sinked yet.
+		// Crash point: batch flushed to the WAL, nothing sinked yet.
 		if err := s.cfg.Hook("pre-sink"); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
 	for i := start; i < len(b.Samples); i++ {
@@ -533,7 +565,7 @@ func (s *Server) accept(dev trace.DeviceID, b *proto.Batch) (uint32, error) {
 			s.m.samples.Add(int64(i - start))
 			s.stats.SinkErrs.Add(1)
 			s.m.sinkErrs.Inc()
-			return 0, err
+			return 0, 0, err
 		}
 	}
 	st.haveLast, st.lastBatch = true, b.BatchID
@@ -543,7 +575,7 @@ func (s *Server) accept(dev trace.DeviceID, b *proto.Batch) (uint32, error) {
 	st.samples += int64(accepted)
 	s.stats.Samples.Add(int64(accepted))
 	s.m.samples.Add(int64(accepted))
-	return uint32(accepted), nil
+	return uint32(accepted), commitSeq, nil
 }
 
 // fail sends an error frame (under a write deadline) then reports the

@@ -57,7 +57,7 @@ func TestRecoverColdStartTornTail(t *testing.T) {
 	srv1, w1 := newWALServer(t, walDir, store1.add)
 	for id := uint64(1); id <= batches; id++ {
 		b := mkBatch(dev, id, per)
-		if _, err := srv1.accept(dev, &b); err != nil {
+		if _, _, err := srv1.accept(dev, &b); err != nil {
 			t.Fatalf("accept batch %d: %v", id, err)
 		}
 	}
@@ -219,7 +219,7 @@ func TestCheckpointSpoolRestore(t *testing.T) {
 	srv1, w1 := newWALServer(t, walDir, sp1.Sink())
 	for id := uint64(1); id <= 3; id++ {
 		b := mkBatch(dev, id, per)
-		if _, err := srv1.accept(dev, &b); err != nil {
+		if _, _, err := srv1.accept(dev, &b); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -235,7 +235,7 @@ func TestCheckpointSpoolRestore(t *testing.T) {
 	// recovery must not depend on it).
 	for id := uint64(4); id <= 5; id++ {
 		b := mkBatch(dev, id, per)
-		if _, err := srv1.accept(dev, &b); err != nil {
+		if _, _, err := srv1.accept(dev, &b); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -259,11 +259,11 @@ func TestCheckpointSpoolRestore(t *testing.T) {
 
 	// A retry of the last batch dedups; the next fresh batch lands.
 	dup := mkBatch(dev, 5, per)
-	if n, err := srv2.accept(dev, &dup); err != nil || n != 0 {
+	if n, _, err := srv2.accept(dev, &dup); err != nil || n != 0 {
 		t.Fatalf("retried batch accepted %d samples (err=%v)", n, err)
 	}
 	fresh := mkBatch(dev, 6, per)
-	if n, err := srv2.accept(dev, &fresh); err != nil || n != per {
+	if n, _, err := srv2.accept(dev, &fresh); err != nil || n != per {
 		t.Fatalf("fresh batch accepted %d samples (err=%v)", n, err)
 	}
 	if err := sp2.Close(); err != nil {

@@ -13,7 +13,7 @@ import (
 
 // benchCampaign spools one small campaign trace to disk and returns its
 // configuration, a restartable file source, and the sample count.
-func benchCampaign(b *testing.B) (config.Campaign, analysis.Source, int) {
+func benchCampaign(b testing.TB) (config.Campaign, analysis.Source, int) {
 	b.Helper()
 	dir := b.TempDir()
 	cfg, err := config.ForYear(2013, 0.05, 9)

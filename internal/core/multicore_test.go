@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"smartusage/internal/core"
+)
+
+// TestMultiCoreSpeedup times the sharded analysis path against the
+// sequential one on the same campaign trace. On a machine with at least four
+// cores the parallel path must win by >= 2x — the whole point of sharding —
+// and a regression that quietly serializes it (a stray lock on the hot path,
+// a worker pool collapsing to one goroutine) fails here before it ships. On
+// smaller machines the measured ratio is only logged: timing a 1-2 core box
+// proves nothing about the sharding, and the decode-count and
+// result-equality checks still run everywhere.
+func TestMultiCoreSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup timing is noise under -short")
+	}
+	cfg, src, _ := benchCampaign(t)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+
+	// Warm both paths first so pool growth and page faults don't count.
+	seqRes, err := core.AnalyzeCampaign(cfg, nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := core.AnalyzeCampaignParallel(cfg, nil, src, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Fatal("parallel analysis result differs from sequential on the same trace")
+	}
+
+	// Best-of-N on each path: the minimum is robust against scheduler noise
+	// in a way the mean is not, and N=3 keeps the test cheap.
+	const rounds = 3
+	best := func(run func() error) time.Duration {
+		bestD := time.Duration(1<<63 - 1)
+		for i := 0; i < rounds; i++ {
+			t0 := time.Now()
+			if err := run(); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(t0); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	seq := best(func() error {
+		_, err := core.AnalyzeCampaign(cfg, nil, src)
+		return err
+	})
+	par := best(func() error {
+		_, err := core.AnalyzeCampaignParallel(cfg, nil, src, workers)
+		return err
+	})
+
+	speedup := float64(seq) / float64(par)
+	t.Logf("sequential %v, parallel %v with %d workers on GOMAXPROCS=%d: %.2fx",
+		seq, par, workers, runtime.GOMAXPROCS(0), speedup)
+	if runtime.GOMAXPROCS(0) >= 4 && speedup < 2 {
+		t.Errorf("parallel analysis only %.2fx faster than sequential on %d cores; want >= 2x",
+			speedup, runtime.GOMAXPROCS(0))
+	}
+}

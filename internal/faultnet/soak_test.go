@@ -20,6 +20,7 @@ import (
 	"smartusage/internal/faultnet"
 	"smartusage/internal/obs"
 	"smartusage/internal/trace"
+	"smartusage/internal/wal"
 )
 
 const (
@@ -29,26 +30,41 @@ const (
 	soakSamples   = soakBatches * soakBatchSize // per agent
 )
 
-// soakMixes enables each fault type alone, then everything at once.
+// soakMixes enables each fault type alone, then everything at once. Mixes
+// with walStall > 0 run a WAL-backed collector whose every group-commit
+// fsync is stretched by that much, so acks are routinely in the
+// commit-pending window when a fault fires — the regime where a group-commit
+// bug (acking before the shared fsync covers your record, or losing a
+// follower on leader error) would surface as a conservation failure.
 var soakMixes = []struct {
-	name string
-	cfg  faultnet.Config
+	name     string
+	cfg      faultnet.Config
+	walStall time.Duration
 }{
 	// Agents redial only after a failure, so the dial fault needs a high
 	// probability to fire at all within a soak run (a no-fault run makes
 	// only soakAgents dials in total).
-	{"dial-refuse", faultnet.Config{DialRefuse: 0.75}},
-	{"read-reset", faultnet.Config{ReadReset: 0.2}},
-	{"write-reset", faultnet.Config{WriteReset: 0.2}},
-	{"partial-write", faultnet.Config{PartialWrite: 0.2}},
-	{"read-stall", faultnet.Config{ReadStall: 0.12}},
-	{"write-stall", faultnet.Config{WriteStall: 0.12}},
-	{"ack-loss", faultnet.Config{AckLoss: 0.25}},
-	{"corrupt", faultnet.Config{Corrupt: 0.15}},
+	{"dial-refuse", faultnet.Config{DialRefuse: 0.75}, 0},
+	{"read-reset", faultnet.Config{ReadReset: 0.2}, 0},
+	{"write-reset", faultnet.Config{WriteReset: 0.2}, 0},
+	{"partial-write", faultnet.Config{PartialWrite: 0.2}, 0},
+	{"read-stall", faultnet.Config{ReadStall: 0.12}, 0},
+	{"write-stall", faultnet.Config{WriteStall: 0.12}, 0},
+	{"ack-loss", faultnet.Config{AckLoss: 0.25}, 0},
+	{"corrupt", faultnet.Config{Corrupt: 0.15}, 0},
 	{"everything", faultnet.Config{
 		DialRefuse: 0.08, ReadReset: 0.05, WriteReset: 0.05, PartialWrite: 0.05,
 		ReadStall: 0.04, WriteStall: 0.04, AckLoss: 0.08, Corrupt: 0.05,
-	}},
+	}, 0},
+	// Group-commit soaks: slow fsyncs force coalescing (many connections
+	// parked in one commit round), then resets and ack loss kill
+	// connections while their commit is pending.
+	{name: "wal-group-commit", walStall: 2 * time.Millisecond},
+	{"wal-commit-reset", faultnet.Config{ReadReset: 0.15, WriteReset: 0.15}, 2 * time.Millisecond},
+	{"wal-commit-everything", faultnet.Config{
+		DialRefuse: 0.08, ReadReset: 0.05, WriteReset: 0.05, PartialWrite: 0.05,
+		ReadStall: 0.04, WriteStall: 0.04, AckLoss: 0.08, Corrupt: 0.05,
+	}, 2 * time.Millisecond},
 }
 
 // deviceStore is a per-device sink for the conservation check.
@@ -76,20 +92,40 @@ func TestChaosSoak(t *testing.T) {
 				seed := seed
 				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 					t.Parallel()
-					runSoak(t, mix.cfg, seed)
+					runSoak(t, mix.cfg, seed, mix.walStall)
 				})
 			}
 		})
 	}
 }
 
-func runSoak(t *testing.T, fcfg faultnet.Config, seed int64) {
+func runSoak(t *testing.T, fcfg faultnet.Config, seed int64, walStall time.Duration) {
 	// One registry spans agent, collector, and injector: the obs counters
 	// must reconcile exactly with the Stats structs at the end of the run.
 	reg := obs.NewRegistry()
 	fcfg.Seed = seed
 	fcfg.Metrics = reg
 	inj := faultnet.New(fcfg)
+
+	var walLog *wal.Log
+	if walStall > 0 {
+		var err error
+		walLog, err = wal.Open(t.TempDir(), wal.Options{
+			Policy:      wal.FsyncRecord,
+			Metrics:     reg,
+			MetricsName: "collector",
+			Hook: func(point string) error {
+				if point == "group-fsync" {
+					time.Sleep(walStall)
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer walLog.Close()
+	}
 
 	store := &deviceStore{byID: make(map[trace.DeviceID][]int64)}
 	srv, err := collector.New(collector.Config{
@@ -101,6 +137,7 @@ func runSoak(t *testing.T, fcfg faultnet.Config, seed int64) {
 		Logf:             func(string, ...any) {},
 		Metrics:          reg,
 		PerDeviceMetrics: true,
+		WAL:              walLog,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -257,6 +294,29 @@ func runSoak(t *testing.T, fcfg faultnet.Config, seed int64) {
 	accepted := counter("collector_accepted_batches_total")
 	if frames != dups+accepted {
 		t.Errorf("batch conservation broken: frames %d != dups %d + accepted %d", frames, dups, accepted)
+	}
+
+	// WAL conservation under group commit: every accepted batch was appended
+	// exactly once (dups and retries never re-append), every append is
+	// physically in the log, and the stalled fsyncs actually ran as
+	// group-commit rounds (never more fsyncs than appends).
+	if walLog != nil {
+		wl := obs.L("wal", "collector")
+		appends := reg.Counter("wal_appends_total", wl).Value()
+		fsyncs := reg.Counter("wal_fsyncs_total", wl).Value()
+		if appends != accepted {
+			t.Errorf("wal appends %d != accepted batches %d", appends, accepted)
+		}
+		if fsyncs == 0 || fsyncs > appends {
+			t.Errorf("wal fsyncs = %d with %d appends; group commit degenerated", fsyncs, appends)
+		}
+		var logged int64
+		if err := walLog.Replay(func(wal.LSN, byte, []byte) error { logged++; return nil }); err != nil {
+			t.Fatalf("wal replay: %v", err)
+		}
+		if logged != appends {
+			t.Errorf("wal replay saw %d records, appended %d", logged, appends)
+		}
 	}
 
 	// The device="..." labeled obs series mirror DeviceStats exactly

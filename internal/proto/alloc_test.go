@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"bytes"
 	"testing"
 
 	"smartusage/internal/trace"
@@ -47,5 +48,47 @@ func TestBatchRoundTripSteadyStateAllocs(t *testing.T) {
 	}
 	if len(out.Samples) != len(in.Samples) || out.Samples[63].APs[1].ESSID != "7SPOT" {
 		t.Fatal("round trip mangled the batch")
+	}
+}
+
+// TestDecodeBatchAliasZeroAlloc pins the collector's zero-copy frame decode:
+// a warm DecodeBatchAlias into a reused Batch allocates nothing even when
+// every ESSID in the frame is one it has never seen — there is no interner
+// and no string copy on this path, samples alias the frame buffer. (The
+// interned path needs repeat ESSIDs to stay at zero; this one doesn't.)
+func TestDecodeBatchAliasZeroAlloc(t *testing.T) {
+	in := Batch{BatchID: 9}
+	for i := 0; i < 64; i++ {
+		in.Samples = append(in.Samples, trace.Sample{
+			Device: trace.DeviceID(i),
+			OS:     trace.Android,
+			Time:   1_400_000_000 + int64(i),
+			APs: []trace.APObs{
+				{BSSID: trace.BSSID(i), ESSID: "mobilepoint", RSSI: -65, Channel: 11, Band: trace.Band24},
+			},
+		})
+	}
+	payload := AppendBatch(nil, &in)
+	essid := bytes.Index(payload, []byte("mobilepoint"))
+	if essid < 0 {
+		t.Fatal("fixture ESSID not found in encoding")
+	}
+	var out Batch
+	if err := DecodeBatchAlias(payload, &out); err != nil { // warm the slabs
+		t.Fatalf("decode alias: %v", err)
+	}
+	round := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		payload[essid] = byte('a' + round%26) // novel ESSID every run
+		round++
+		if err := DecodeBatchAlias(payload, &out); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm alias batch decode allocates %.1f times per batch, want 0", allocs)
+	}
+	if len(out.Samples) != 64 || out.Samples[1].APs[0].ESSID != "mobilepoint" {
+		t.Fatalf("alias decode mangled the batch: %d samples", len(out.Samples))
 	}
 }

@@ -277,8 +277,25 @@ func AppendBatch(dst []byte, b *Batch) []byte {
 	return dst
 }
 
-// DecodeBatch decodes b from buf, reusing b.Samples.
+// DecodeBatch decodes b from buf, reusing b.Samples. Decoded strings are
+// copies (interned per batch), so the samples outlive buf.
 func DecodeBatch(buf []byte, b *Batch) error {
+	return decodeBatch(buf, b, false)
+}
+
+// DecodeBatchAlias is DecodeBatch in zero-copy mode: sample string fields
+// (ESSIDs) alias buf instead of being copied, so a warm decode into a reused
+// Batch allocates nothing. The samples are valid only while buf is — a
+// caller reading frames into a reused buffer (Conn.ReadFrame does) must
+// fully consume the batch (sink it, or copy what it retains) before the next
+// frame overwrites the buffer. The collector's per-connection loop has
+// exactly that shape: decode, WAL-append the still-encoded payload, sink,
+// ack, and only then read the next frame.
+func DecodeBatchAlias(buf []byte, b *Batch) error {
+	return decodeBatch(buf, b, true)
+}
+
+func decodeBatch(buf []byte, b *Batch, alias bool) error {
 	d := newFieldReader(buf)
 	b.BatchID = d.uvarint()
 	n := d.uvarint()
@@ -294,7 +311,15 @@ func DecodeBatch(buf []byte, b *Batch) error {
 		if d.err != nil {
 			break
 		}
-		used, err := trace.DecodeSampleInterned(raw, &b.Samples[i], &b.it)
+		var used int
+		var err error
+		if alias {
+			// Aliased strings must not reach the interner: its table would
+			// pin buf and serve mutated strings once the buffer is reused.
+			used, err = trace.DecodeSampleAlias(raw, &b.Samples[i])
+		} else {
+			used, err = trace.DecodeSampleInterned(raw, &b.Samples[i], &b.it)
+		}
 		if err != nil {
 			return fmt.Errorf("proto: batch sample %d: %w", i, err)
 		}

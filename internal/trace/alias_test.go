@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// aliasFixture returns a sample with two ESSID-bearing AP observations and
+// its encoding.
+func aliasFixture() (Sample, []byte) {
+	s := Sample{
+		Device:    42,
+		OS:        Android,
+		Time:      1_400_000_000,
+		WiFiState: WiFiAssociated,
+		CellRX:    123,
+		WiFiRX:    456,
+		Apps: []AppTraffic{
+			{Category: CatVideo, Iface: WiFi, RX: 9, TX: 1},
+		},
+		APs: []APObs{
+			{BSSID: 0xa1, ESSID: "0000docomo", RSSI: -55, Channel: 6, Band: Band24, Associated: true},
+			{BSSID: 0xb2, ESSID: "", RSSI: -80, Channel: 36, Band: Band5},
+		},
+		Battery: 73,
+	}
+	return s, AppendSample(nil, &s)
+}
+
+// TestDecodeSampleAliasEquivalence: alias mode decodes the same values as
+// the copying decoder.
+func TestDecodeSampleAliasEquivalence(t *testing.T) {
+	want, buf := aliasFixture()
+	var got Sample
+	n, err := DecodeSampleAlias(buf, &got)
+	if err != nil {
+		t.Fatalf("decode alias: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if got.Device != want.Device || got.Time != want.Time || len(got.APs) != 2 ||
+		got.APs[0].ESSID != "0000docomo" || got.APs[1].ESSID != "" ||
+		got.Apps[0].RX != 9 || got.Battery != 73 {
+		t.Fatalf("alias decode mismatch: %+v", got)
+	}
+}
+
+// TestDecodeSampleAliasSharesBuffer proves the zero-copy claim directly: the
+// decoded ESSID changes when the encoded buffer is overwritten in place. This
+// is the ownership rule made visible — a sample from DecodeSampleAlias is
+// valid only while its buffer is.
+func TestDecodeSampleAliasSharesBuffer(t *testing.T) {
+	_, buf := aliasFixture()
+	var s Sample
+	if _, err := DecodeSampleAlias(buf, &s); err != nil {
+		t.Fatalf("decode alias: %v", err)
+	}
+	if s.APs[0].ESSID != "0000docomo" {
+		t.Fatalf("ESSID = %q before overwrite", s.APs[0].ESSID)
+	}
+	for i := range buf {
+		buf[i] = 'X'
+	}
+	if s.APs[0].ESSID == "0000docomo" {
+		t.Fatal("ESSID survived buffer overwrite: decode copied instead of aliasing")
+	}
+
+	// The copying decoders must be immune to the same overwrite.
+	_, buf2 := aliasFixture()
+	var cp Sample
+	if _, err := DecodeSample(buf2, &cp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := range buf2 {
+		buf2[i] = 'X'
+	}
+	if cp.APs[0].ESSID != "0000docomo" {
+		t.Fatalf("copying decode aliased the buffer: ESSID = %q", cp.APs[0].ESSID)
+	}
+}
+
+// TestDecodeSampleAliasZeroAlloc pins the whole point: a warm alias decode
+// allocates nothing even when every ESSID is novel (no interner involved, no
+// string copies). This is the ceiling the collector's per-frame decode runs
+// under.
+func TestDecodeSampleAliasZeroAlloc(t *testing.T) {
+	_, buf := aliasFixture()
+	essid := bytes.Index(buf, []byte("0000docomo"))
+	if essid < 0 {
+		t.Fatal("fixture ESSID not found in encoding")
+	}
+	var s Sample
+	if _, err := DecodeSampleAlias(buf, &s); err != nil { // warm: Apps/APs slabs
+		t.Fatalf("decode alias: %v", err)
+	}
+	round := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		// Rewrite an ESSID byte in place each run so every decode sees a
+		// string value it has never seen before — a copying or interning
+		// decoder cannot stay at zero here.
+		buf[essid] = byte('a' + round%26)
+		round++
+		if _, err := DecodeSampleAlias(buf, &s); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm alias decode allocates %.1f times per sample, want 0", allocs)
+	}
+}
+
+// TestCloneDetachesAliasedStrings: Clone is the documented escape hatch for
+// retaining an aliased sample, so its copies must survive the buffer dying.
+func TestCloneDetachesAliasedStrings(t *testing.T) {
+	_, buf := aliasFixture()
+	var s Sample
+	if _, err := DecodeSampleAlias(buf, &s); err != nil {
+		t.Fatalf("decode alias: %v", err)
+	}
+	cp := s.Clone()
+	for i := range buf {
+		buf[i] = 'X'
+	}
+	if cp.APs[0].ESSID != "0000docomo" {
+		t.Fatalf("Clone kept an aliased ESSID: %q after buffer overwrite", cp.APs[0].ESSID)
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Binary trace format
@@ -102,13 +104,29 @@ func (it *Interner) Intern(b []byte) string {
 // DecodeSample decodes one sample previously encoded by AppendSample and
 // returns the number of bytes consumed.
 func DecodeSample(buf []byte, s *Sample) (int, error) {
-	return DecodeSampleInterned(buf, s, nil)
+	return decodeSample(buf, s, nil, false)
 }
 
 // DecodeSampleInterned is DecodeSample with decoded strings deduplicated
 // through it (nil disables interning).
 func DecodeSampleInterned(buf []byte, s *Sample, it *Interner) (int, error) {
-	d := decoder{buf: buf, intern: it}
+	return decodeSample(buf, s, it, false)
+}
+
+// DecodeSampleAlias is DecodeSample with zero-copy strings: decoded ESSIDs
+// alias buf instead of being copied out, so a warm decode allocates nothing
+// at all. The resulting sample (its string fields, specifically) is valid
+// only while buf is — callers that reuse the buffer, like the collector's
+// per-connection frame loop, must finish consuming the sample (sink it, or
+// Clone-copy what they retain) before the next read overwrites buf. Aliased
+// strings must never be handed to an Interner: the intern table would pin
+// the entire buffer and serve mutated strings after it is reused.
+func DecodeSampleAlias(buf []byte, s *Sample) (int, error) {
+	return decodeSample(buf, s, nil, true)
+}
+
+func decodeSample(buf []byte, s *Sample, it *Interner, alias bool) (int, error) {
+	d := decoder{buf: buf, intern: it, alias: alias}
 	s.Device = DeviceID(d.uvarint())
 	s.OS = OS(d.byte())
 	s.Time = d.varint()
@@ -177,6 +195,9 @@ type decoder struct {
 	off    int
 	err    error
 	intern *Interner
+	// alias makes string fields reference buf directly instead of copying.
+	// Mutually exclusive with intern (an interner must only hold copies).
+	alias bool
 }
 
 func (d *decoder) byte() byte {
@@ -229,6 +250,12 @@ func (d *decoder) string() string {
 	}
 	raw := d.buf[d.off : d.off+int(n)]
 	d.off += int(n)
+	if d.alias {
+		if len(raw) == 0 {
+			return ""
+		}
+		return unsafe.String(&raw[0], len(raw))
+	}
 	if d.intern != nil {
 		return d.intern.Intern(raw)
 	}
@@ -366,7 +393,10 @@ func (r *Reader) ReadAll(fn func(*Sample) error) error {
 	}
 }
 
-// Clone returns a deep copy of s, including its slices.
+// Clone returns a deep copy of s, including its slices and strings. String
+// fields are re-copied because a sample from DecodeSampleAlias (the
+// collector's zero-copy path) holds ESSIDs that alias a reused frame buffer;
+// a Clone must outlive that buffer.
 func (s *Sample) Clone() *Sample {
 	out := *s
 	if s.Apps != nil {
@@ -374,6 +404,9 @@ func (s *Sample) Clone() *Sample {
 	}
 	if s.APs != nil {
 		out.APs = append([]APObs(nil), s.APs...)
+		for i := range out.APs {
+			out.APs[i].ESSID = strings.Clone(out.APs[i].ESSID)
+		}
 	}
 	return &out
 }

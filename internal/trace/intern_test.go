@@ -2,7 +2,9 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+	"unsafe"
 )
 
 func internSample() *Sample {
@@ -80,5 +82,95 @@ func TestInternerTableReset(t *testing.T) {
 	}
 	if got := it.Intern([]byte("after-reset")); got != "after-reset" {
 		t.Fatalf("post-reset intern broken: %q", got)
+	}
+}
+
+// TestInternerResetBoundaryExact pins the reset to exactly maxInternEntries:
+// a hit on a brimming table must not reset it (the hit path precedes the cap
+// check), the first novel string past the brim lands in a fresh table, and
+// entries from before the reset are gone until re-interned.
+func TestInternerResetBoundaryExact(t *testing.T) {
+	var it Interner
+	keep := it.Intern([]byte("keeper"))
+	for i := 1; i < maxInternEntries; i++ {
+		it.Intern([]byte(fmt.Sprintf("essid-%05x", i)))
+	}
+	if len(it.m) != maxInternEntries {
+		t.Fatalf("table holds %d entries after %d distinct interns, want %d", len(it.m), maxInternEntries, maxInternEntries)
+	}
+	got := it.Intern([]byte("keeper"))
+	if got != keep || unsafe.StringData(got) != unsafe.StringData(keep) {
+		t.Fatal("hit on a full table returned a different allocation")
+	}
+	if len(it.m) != maxInternEntries {
+		t.Fatalf("hit on a full table changed its size to %d", len(it.m))
+	}
+	it.Intern([]byte("overflow"))
+	if len(it.m) != 1 {
+		t.Fatalf("first novel string past the cap left %d entries, want a fresh table of 1", len(it.m))
+	}
+	again := it.Intern([]byte("keeper"))
+	if again != "keeper" {
+		t.Fatalf("re-intern after reset returned %q", again)
+	}
+	if unsafe.StringData(again) == unsafe.StringData(keep) {
+		t.Fatal("reset table still serves the pre-reset allocation; the old table leaked into the new one")
+	}
+}
+
+// TestInternerRewarmZeroAlloc: a reset only costs until the working set is
+// re-observed — after one warming decode the hot path is zero-alloc again.
+func TestInternerRewarmZeroAlloc(t *testing.T) {
+	var it Interner
+	for i := 0; i <= maxInternEntries; i++ { // force a reset
+		it.Intern([]byte(fmt.Sprintf("essid-%05x", i)))
+	}
+	enc := AppendSample(nil, internSample())
+	var out Sample
+	if _, err := DecodeSampleInterned(enc, &out, &it); err != nil { // re-warm
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := DecodeSampleInterned(enc, &out, &it); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("re-warmed decode allocates %.1f times per sample, want 0", allocs)
+	}
+}
+
+// TestDecodeSampleInternedConcurrent decodes one shared buffer from many
+// goroutines, each with its own Interner and Sample — the documented
+// concurrency contract (an Interner is single-goroutine; the encoded buffer
+// is read-only and shareable). Run under -race this proves the decode path
+// never writes through the shared buffer.
+func TestDecodeSampleInternedConcurrent(t *testing.T) {
+	enc := AppendSample(nil, internSample())
+	want := internSample()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var it Interner
+			var out Sample
+			for i := 0; i < 500; i++ {
+				if _, err := DecodeSampleInterned(enc, &out, &it); err != nil {
+					errs <- err
+					return
+				}
+				if out.APs[0].ESSID != want.APs[0].ESSID || out.APs[2].ESSID != want.APs[2].ESSID {
+					errs <- fmt.Errorf("goroutine decode corrupted ESSIDs: %+v", out.APs)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

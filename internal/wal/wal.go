@@ -46,7 +46,10 @@ type Policy int
 const (
 	// FsyncRecord syncs the segment file after every append: an
 	// acknowledged record survives power loss. This is the collector
-	// default — an acked batch must never be lost.
+	// default — an acked batch must never be lost. Concurrent appenders
+	// group-commit: one fsync covers every record flushed before it
+	// started, so N connections committing together pay ~1 fsync, not N
+	// (each Append still blocks until a sync covers its own record).
 	FsyncRecord Policy = iota
 	// FsyncInterval syncs at most every Options.Interval: bounded data loss
 	// on power failure, far fewer fsyncs under load.
@@ -93,7 +96,11 @@ type Options struct {
 	Interval time.Duration
 	// Hook, when non-nil, is consulted at crash points ("wal-append",
 	// "pre-fsync") for fault injection; a non-nil return aborts the
-	// operation as a crash would. See faultnet.CrashPlan.
+	// operation as a crash would. See faultnet.CrashPlan. It is also
+	// consulted at "group-fsync" by a group-commit leader immediately
+	// before its fsync, with the log lock released — a hook that sleeps
+	// there models a stalled disk while appenders keep queueing behind the
+	// commit; a non-nil return fails that commit round.
 	Hook func(point string) error
 	// Metrics, when non-nil, receives wal_* counters (appends, bytes,
 	// fsyncs, rotations, torn-tail bytes) labeled wal=MetricsName.
@@ -184,9 +191,20 @@ type Log struct {
 	records int64 // guarded by mu
 	// torn counts bytes truncated during Open's tail repair. guarded by mu
 	torn int64
-	// dirty marks bytes flushed to the OS but not yet fsynced. guarded by mu
-	dirty  bool
-	closed bool // guarded by mu
+	// writeSeq numbers appends as they are flushed to the OS; durableSeq is
+	// the highest writeSeq covered by an fsync. Records in sealed segments
+	// are synced at seal time, so after fsyncing the active segment at a
+	// moment when writeSeq == S, every append numbered <= S is durable.
+	// durableSeq < writeSeq is the old "dirty" state. guarded by mu
+	writeSeq   int64
+	durableSeq int64
+	// syncing marks a group-commit leader's fsync in flight (running with
+	// mu released so appenders keep writing behind it). guarded by mu
+	syncing bool
+	// syncedCond is broadcast whenever durableSeq advances or the log
+	// closes, waking group-commit followers.
+	syncedCond *sync.Cond
+	closed     bool // guarded by mu
 
 	stopSync chan struct{} // interval-policy syncer
 	syncDone chan struct{}
@@ -206,6 +224,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: mkdir: %w", err)
 	}
 	l := &Log{dir: dir, opts: opts, m: newWALMetrics(opts.Metrics, opts.MetricsName)}
+	l.syncedCond = sync.NewCond(&l.mu)
 	seqs, err := l.scanDir()
 	if err != nil {
 		return nil, err
@@ -436,17 +455,37 @@ func (l *Log) openSegmentLocked(seq uint64) error {
 // before the write when the current segment is over budget, so one record
 // never spans segments.
 func (l *Log) Append(typ byte, payload []byte) (LSN, error) {
+	lsn, seq, err := l.AppendAsync(typ, payload)
+	if err != nil {
+		return lsn, err
+	}
+	if l.opts.Policy == FsyncRecord {
+		if err := l.Commit(seq); err != nil {
+			return LSN{}, err
+		}
+	}
+	return lsn, nil
+}
+
+// AppendAsync is Append minus the FsyncRecord durability wait: the record is
+// flushed to the OS (it survives process death) and the returned commit token
+// must be passed to Commit before the record may be acknowledged as durable.
+// Splitting the two lets a caller that serializes appends under its own lock
+// (the collector) release that lock before waiting on the fsync, so commits
+// from concurrent connections actually coalesce into shared group-commit
+// rounds instead of serializing one fsync each.
+func (l *Log) AppendAsync(typ byte, payload []byte) (LSN, int64, error) {
 	if len(payload) > MaxRecordSize {
-		return LSN{}, fmt.Errorf("wal: record payload %d exceeds limit", len(payload))
+		return LSN{}, 0, fmt.Errorf("wal: record payload %d exceeds limit", len(payload))
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return LSN{}, ErrClosed
+		return LSN{}, 0, ErrClosed
 	}
 	if l.off >= l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
-			return LSN{}, err
+			return LSN{}, 0, err
 		}
 	}
 
@@ -466,20 +505,21 @@ func (l *Log) Append(typ byte, payload []byte) (LSN, error) {
 				l.bw.Write(frame[:len(frame)/2])
 				l.bw.Flush()
 			}
-			return LSN{}, err
+			return LSN{}, 0, err
 		}
 	}
 
 	lsn := LSN{Seg: l.seq, Off: l.off}
 	if _, err := l.bw.Write(frame); err != nil {
-		return LSN{}, fmt.Errorf("wal: append: %w", err)
+		return LSN{}, 0, fmt.Errorf("wal: append: %w", err)
 	}
 	if err := l.bw.Flush(); err != nil {
-		return LSN{}, fmt.Errorf("wal: flush: %w", err)
+		return LSN{}, 0, fmt.Errorf("wal: flush: %w", err)
 	}
 	l.off += int64(len(frame))
 	l.records++
-	l.dirty = true
+	l.writeSeq++
+	seq := l.writeSeq
 	l.m.appends.Inc()
 	l.m.bytes.Add(int64(len(frame)))
 
@@ -487,15 +527,85 @@ func (l *Log) Append(typ byte, payload []byte) (LSN, error) {
 		// The record is in the OS (survives process death) but not yet
 		// synced (may not survive power loss).
 		if err := h("pre-fsync"); err != nil {
-			return LSN{}, err
+			return LSN{}, 0, err
 		}
 	}
-	if l.opts.Policy == FsyncRecord {
-		if err := l.syncLocked(); err != nil {
-			return LSN{}, err
+	return lsn, seq, nil
+}
+
+// Commit blocks until the append identified by a token from AppendAsync is
+// covered by an fsync, joining (or leading) a group-commit round. Under
+// policies other than FsyncRecord it is a no-op: FsyncInterval and FsyncOff
+// accept a bounded durability window by design, and the interval loop or
+// Close picks the record up. A zero token (no append happened) is a no-op.
+func (l *Log) Commit(seq int64) error {
+	if seq <= 0 || l.opts.Policy != FsyncRecord {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed && l.durableSeq < seq {
+		return ErrClosed
+	}
+	return l.commitLocked(seq)
+}
+
+// Barrier returns a commit token covering every append flushed so far. Pass
+// it to Commit to make all of them durable — the collector uses it on the
+// partial-resume path, where the batch's WAL record was appended by an
+// earlier attempt whose connection died before committing.
+func (l *Log) Barrier() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writeSeq
+}
+
+// commitLocked blocks until an fsync covers append number seq — the group
+// commit. Called (and returning) with l.mu held. The first waiter whose
+// record is not yet durable becomes the leader: it captures the current file
+// and writeSeq, releases the lock, fsyncs, and re-acquires to publish the
+// new durable horizon. Appends that land while the leader's fsync is in
+// flight keep writing into the buffer and queue behind the next leader, so a
+// burst of N concurrent appends is committed by ~1 fsync instead of N —
+// without weakening the contract that Append(FsyncRecord) only returns once
+// its own record is on stable storage.
+func (l *Log) commitLocked(seq int64) error {
+	for l.durableSeq < seq {
+		if l.closed {
+			return ErrClosed
+		}
+		if l.syncing {
+			// A leader's fsync is in flight; it may have started before our
+			// record was flushed, so wait for its verdict and re-check.
+			l.syncedCond.Wait()
+			continue
+		}
+		l.syncing = true
+		f, target := l.f, l.writeSeq
+		l.mu.Unlock()
+		var err error
+		if h := l.opts.Hook; h != nil {
+			err = h("group-fsync")
+		}
+		if err == nil {
+			err = f.Sync()
+		}
+		l.mu.Lock()
+		l.syncing = false
+		if err == nil && target > l.durableSeq {
+			l.durableSeq = target
+			l.m.fsyncs.Inc()
+		}
+		l.syncedCond.Broadcast()
+		if err != nil && l.durableSeq < seq {
+			// A rotation can seal (flush + sync + close) the captured file
+			// while the leader runs unlocked; the seal's own sync then
+			// already covered seq and the stale-handle error is moot.
+			// Reaching here means no sync covered this record: real failure.
+			return fmt.Errorf("wal: fsync: %w", err)
 		}
 	}
-	return lsn, nil
+	return nil
 }
 
 // ErrCrashTorn asks Append's crash hook path to leave a torn half-record
@@ -516,14 +626,17 @@ func (l *Log) Sync() error {
 }
 
 func (l *Log) syncLocked() error {
-	if !l.dirty {
+	if l.durableSeq >= l.writeSeq {
 		return nil
 	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
-	l.dirty = false
+	l.durableSeq = l.writeSeq
 	l.m.fsyncs.Inc()
+	// Group-commit followers may be parked on the condvar; this sync (from
+	// a seal, Sync call, or the interval loop) covers their records too.
+	l.syncedCond.Broadcast()
 	return nil
 }
 
@@ -685,7 +798,8 @@ func (l *Log) Reset() error {
 	}
 	l.sealedSt = nil
 	l.records = 0
-	l.dirty = false
+	l.durableSeq = l.writeSeq
+	l.syncedCond.Broadcast()
 	if err := l.openSegmentLocked(0); err != nil {
 		return err
 	}
@@ -707,6 +821,10 @@ func (l *Log) Close() error {
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}
+	// Wake group-commit followers so they observe closed instead of
+	// parking forever (their records were covered by the sync above
+	// anyway, unless it failed).
+	l.syncedCond.Broadcast()
 	l.mu.Unlock()
 	if l.stopSync != nil {
 		close(l.stopSync)
