@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-diff bench-multicore check lint smuvet fmt-check bench-smoke fuzz-smoke chaos crash report experiments experiments-full ingest-smoke ingest-json clean
+.PHONY: all build vet test test-short bench bench-json bench-diff bench-multicore check lint smuvet fmt-check bench-smoke fuzz-smoke chaos crash tier-soak external-smoke report experiments experiments-full ingest-smoke ingest-json clean
 
 all: build vet test
 
@@ -108,15 +108,32 @@ chaos:
 crash:
 	$(GO) test -race -run TestCrashRestartSoak -count=1 ./internal/faultnet
 
+# Tier-failover soak: whole collector replicas are killed (and cold-started
+# from their WALs) at every durability crash point while agents fail over
+# between replicas; per-replica spools are then tiermerged and exactly-once
+# conservation is asserted against a fault-free baseline, under -race.
+tier-soak:
+	$(GO) test -race -run TestTierFailoverSoak -count=1 ./internal/faultnet
+
+# External tier smoke: three real collectd processes on loopback driven by
+# loadgen over the wire protocol, SIGTERM-drained, and tiermerged — covers
+# the built binaries, flags, signals, and HTTP surface the in-process suites
+# cannot.
+external-smoke:
+	./scripts/external-smoke.sh
+
 # The full CI gate: lint (formatting, vet, smuvet), race-enabled tests,
-# benchmark smoke, fuzz smoke, chaos + kill-restart soaks.
+# benchmark smoke, fuzz smoke, chaos + kill-restart + tier-failover soaks,
+# and the in-process + external ingest smokes.
 check: lint
 	$(GO) test -race ./...
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) chaos
 	$(MAKE) crash
+	$(MAKE) tier-soak
 	$(MAKE) ingest-smoke
+	$(MAKE) external-smoke
 
 # Regenerate EXPERIMENTS.md at the reference scale.
 experiments:

@@ -20,6 +20,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"smartusage/internal/agent"
@@ -34,7 +35,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("agentsim: ")
 	var (
-		server     = flag.String("server", "127.0.0.1:7020", "collector address")
+		server     = flag.String("server", "127.0.0.1:7020", "collector address (single-server mode)")
+		servers    = flag.String("servers", "", "comma-separated collector tier addresses; agents pick a rendezvous primary per device and fail over between them (overrides -server)")
 		year       = flag.Int("year", 2015, "campaign year")
 		scale      = flag.Float64("scale", 0.1, "panel scale")
 		seed       = flag.Int64("seed", 1, "random seed")
@@ -85,6 +87,15 @@ func main() {
 	inj := faultnet.New(fcfg)
 	dial := inj.Dial(nil)
 
+	var tier []string
+	if *servers != "" {
+		for _, s := range strings.Split(*servers, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				tier = append(tier, s)
+			}
+		}
+	}
+
 	agents := make(map[trace.DeviceID]*agent.Agent)
 	var recorded, flushErrs int
 	simSpan := tracer.Start("agentsim:simulate")
@@ -94,6 +105,7 @@ func main() {
 			var err error
 			acfg := agent.Config{
 				Server:      *server,
+				Servers:     tier,
 				Device:      s.Device,
 				OS:          s.OS,
 				Token:       *token,
@@ -122,7 +134,7 @@ func main() {
 	}
 
 	drainSpan := tracer.Start("agentsim:drain")
-	var uploaded, dropped, retries, resumed, abandoned int
+	var uploaded, dropped, retries, resumed, abandoned, failovers, exhausted int
 	for _, a := range agents {
 		if err := a.Close(); err != nil {
 			flushErrs++
@@ -136,10 +148,15 @@ func main() {
 		dropped += st.Dropped
 		retries += st.Retries
 		resumed += st.Resumed
+		failovers += st.Failovers
+		exhausted += st.TierExhausted
 	}
 	drainSpan.End()
 	log.Printf("devices=%d recorded=%d resumed=%d uploaded=%d dropped=%d retries=%d close-errors=%d abandoned=%d",
 		len(agents), recorded, resumed, uploaded, dropped, retries, flushErrs, abandoned)
+	if len(tier) > 0 {
+		log.Printf("tier: %d replicas, failovers=%d tier-exhausted=%d", len(tier), failovers, exhausted)
+	}
 	log.Printf("faults: %s", inj.Stats())
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, reg); err != nil {

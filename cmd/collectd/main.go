@@ -18,6 +18,14 @@
 //
 //	collectd -addr :7020 -spool collected.trace -token s3cret
 //	collectd -addr :7020 -spool-dir spool/ -wal-dir wal/ -fsync batch
+//
+// A horizontal tier runs N of these, each with its own -wal-dir/-spool-dir
+// and a distinct -replica-id (agents take the full address list and fail
+// over between them). While a replica replays its WAL at startup /healthz
+// reports 503 "recovering", so failover clients route around it. Per-replica
+// spools are unioned afterwards with cmd/tiermerge:
+//
+//	collectd -addr :7020 -replica-id 0 -replicas 3 -spool-dir spool0/ -wal-dir wal0/
 package main
 
 import (
@@ -56,6 +64,8 @@ func main() {
 		ckptEvery    = flag.Duration("checkpoint-interval", time.Minute, "WAL checkpoint (and retention) period")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget; expiry with active connections exits non-zero")
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
+		replicaID    = flag.Int("replica-id", 0, "this instance's index within a collector tier (requires -replicas)")
+		replicas     = flag.Int("replicas", 0, "collector tier size; 0 runs standalone")
 	)
 	flag.Parse()
 
@@ -104,6 +114,11 @@ func main() {
 
 	var walLog *wal.Log
 	if *walDir != "" {
+		// The recovery window starts before the WAL is even opened (opening
+		// repairs a torn tail) and ends only after Recover: /healthz must
+		// answer 503 throughout, or a failover client probing mid-replay
+		// would route traffic to a replica with stale dedup state.
+		health.SetRecovering(true)
 		policy, err := wal.ParsePolicy(*fsync)
 		if err != nil {
 			log.Fatal(err)
@@ -128,6 +143,8 @@ func main() {
 		WriteTimeout:  *writeTimeout,
 		MaxFrameBytes: *maxFrame,
 		MaxConns:      *maxConns,
+		ReplicaID:     *replicaID,
+		TierReplicas:  *replicas,
 		WAL:           walLog,
 		Metrics:       reg,
 	})
@@ -139,6 +156,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		health.SetRecovering(false)
 		log.Printf("recovered: %s", rec)
 	}
 	if err := srv.Listen(); err != nil {
@@ -148,7 +166,11 @@ func main() {
 	if *spoolDir != "" {
 		dest = *spoolDir + string(os.PathSeparator) + "spool-*.trace"
 	}
-	log.Printf("listening on %s, spooling to %s", srv.Addr(), dest)
+	if *replicas > 0 {
+		log.Printf("listening on %s as tier replica %d of %d, spooling to %s", srv.Addr(), *replicaID, *replicas, dest)
+	} else {
+		log.Printf("listening on %s, spooling to %s", srv.Addr(), dest)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

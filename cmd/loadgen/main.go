@@ -17,6 +17,14 @@
 //	loadgen -agents 1000 -batches 6 -batch 24 -wal -out INGEST.json
 //	loadgen -addr collectd.host:7020 -metrics http://collectd.host:9090 -token s3cret
 //
+// Against a collector tier, pass every replica to -addrs and every metrics
+// endpoint to -metrics; the fleet spreads across replicas by rendezvous
+// hashing and fails over on refusal, and server counters are summed across
+// endpoints before reconciliation:
+//
+//	loadgen -addrs host:7020,host:7021,host:7022 \
+//	        -metrics http://host:9090,http://host:9091,http://host:9092
+//
 // In-process mode spins up the collector with a rotating spool (and, with
 // -wal, a write-ahead log whose "batch" fsync policy exercises group commit
 // under concurrent connections) in a scratch directory that is deleted on
@@ -36,6 +44,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,7 +61,8 @@ func main() {
 	log.SetPrefix("loadgen: ")
 	var (
 		addr      = flag.String("addr", "", "collectd address to load (empty starts an in-process collector)")
-		metrics   = flag.String("metrics", "", "metrics endpoint base URL to scrape (default: the in-process one; required with -addr for server-side counters)")
+		addrs     = flag.String("addrs", "", "comma-separated collectd tier addresses (overrides -addr; agents pick a rendezvous primary per device and fail over between replicas)")
+		metrics   = flag.String("metrics", "", "comma-separated metrics endpoint base URLs to scrape; counters are summed across endpoints (default: the in-process one; required with -addr/-addrs for server-side counters)")
 		agents    = flag.Int("agents", 1000, "concurrent synthetic agents")
 		batches   = flag.Int("batches", 6, "batches each agent uploads")
 		batch     = flag.Int("batch", 24, "samples per batch")
@@ -76,9 +86,13 @@ func main() {
 		log.Fatal("-agents, -batches, and -batch must be positive")
 	}
 
-	// --- target: in-process collector, or a remote one ---------------------
-	scrapeURL := *metrics
+	// --- target: in-process collector, or a remote one (or a remote tier) --
+	scrapeURLs := splitList(*metrics)
+	tier := splitList(*addrs)
 	target := *addr
+	if len(tier) > 0 {
+		target = tier[0] // agents dial by cfg.Servers; target is informational
+	}
 	var (
 		cleanup  func()
 		sunk     atomic.Int64
@@ -105,8 +119,8 @@ func main() {
 		}
 		msrv := &http.Server{Handler: obs.Handler(reg, nil)}
 		go msrv.Serve(ln)
-		if scrapeURL == "" {
-			scrapeURL = "http://" + ln.Addr().String()
+		if len(scrapeURLs) == 0 {
+			scrapeURLs = []string{"http://" + ln.Addr().String()}
 		}
 
 		sp, err := collector.NewRotatingSpool(filepath.Join(dir, "spool"), 256<<20)
@@ -179,19 +193,19 @@ func main() {
 			msrv.Close()
 		}
 		log.Printf("in-process collector on %s (scratch %s, wal=%v fsync=%s), metrics %s",
-			target, dir, *useWAL, *fsync, scrapeURL)
+			target, dir, *useWAL, *fsync, scrapeURLs[0])
 	}
 
-	before, err := scrape(scrapeURL)
-	if err != nil && scrapeURL != "" {
-		log.Fatalf("scrape %s: %v", scrapeURL, err)
+	before, err := scrapeAll(scrapeURLs)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// --- drive the fleet ---------------------------------------------------
 	deadline := time.After(*timeout)
 	fleetDone := make(chan fleetResult, 1)
 	go func() {
-		fleetDone <- runFleet(target, *token, *agents, *batches, *batch, *aps, *essids, *seed, *spool, *scratch)
+		fleetDone <- runFleet(target, tier, *token, *agents, *batches, *batch, *aps, *essids, *seed, *spool, *scratch)
 	}()
 	var fleet fleetResult
 	select {
@@ -200,9 +214,9 @@ func main() {
 		log.Fatalf("run exceeded -timeout %s", *timeout)
 	}
 
-	after, err := scrape(scrapeURL)
-	if err != nil && scrapeURL != "" {
-		log.Fatalf("scrape %s: %v", scrapeURL, err)
+	after, err := scrapeAll(scrapeURLs)
+	if err != nil {
+		log.Fatal(err)
 	}
 	if cleanup != nil {
 		cleanup()
@@ -240,6 +254,9 @@ func main() {
 		*agents, *batches, *batch, man.SamplesPerSec,
 		man.AckLatencyMS.P50, man.AckLatencyMS.P95, man.AckLatencyMS.P99, man.AckLatencyMS.Max,
 		man.Client.Retries, len(man.ConservationErrors))
+	if len(tier) > 0 {
+		log.Printf("tier: %d replicas, %d failovers", len(tier), man.Client.Failovers)
+	}
 	for _, e := range man.ConservationErrors {
 		log.Printf("CONSERVATION: %s", e)
 	}
@@ -260,13 +277,14 @@ type fleetResult struct {
 	recorded  int64
 	dropped   int64
 	retries   int64
+	failovers int64
 	spoolErrs int64
 	failures  int64 // agents that errored (flush after retries, or close)
 	errs      []string
 }
 
 // runFleet spawns the agents, runs every upload, and merges their stats.
-func runFleet(target, token string, agents, batches, batchSz, aps, essids int, seed int64, spool bool, scratch string) fleetResult {
+func runFleet(target string, tier []string, token string, agents, batches, batchSz, aps, essids int, seed int64, spool bool, scratch string) fleetResult {
 	var (
 		mu  sync.Mutex
 		res fleetResult
@@ -277,7 +295,7 @@ func runFleet(target, token string, agents, batches, batchSz, aps, essids int, s
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			lats, st, err := runAgent(target, token, i, batches, batchSz, aps, essids, seed, spool, scratch)
+			lats, st, err := runAgent(target, tier, token, i, batches, batchSz, aps, essids, seed, spool, scratch)
 			mu.Lock()
 			defer mu.Unlock()
 			res.latencies = append(res.latencies, lats...)
@@ -285,6 +303,7 @@ func runFleet(target, token string, agents, batches, batchSz, aps, essids int, s
 			res.recorded += int64(st.Recorded)
 			res.dropped += int64(st.Dropped)
 			res.retries += int64(st.Retries)
+			res.failovers += int64(st.Failovers)
 			res.spoolErrs += int64(st.SpoolErrs)
 			if err != nil {
 				res.failures++
@@ -301,9 +320,10 @@ func runFleet(target, token string, agents, batches, batchSz, aps, essids int, s
 
 // runAgent is one synthetic handset: batches uploads of batchSz samples
 // each, every flush timed as one ack latency observation.
-func runAgent(target, token string, idx, batches, batchSz, aps, essids int, seed int64, spool bool, scratch string) ([]time.Duration, agent.Stats, error) {
+func runAgent(target string, tier []string, token string, idx, batches, batchSz, aps, essids int, seed int64, spool bool, scratch string) ([]time.Duration, agent.Stats, error) {
 	cfg := agent.Config{
 		Server:    target,
+		Servers:   tier,
 		Device:    trace.DeviceID(1 + idx),
 		OS:        trace.Android,
 		Token:     token,
@@ -389,6 +409,7 @@ type clientManifest struct {
 	Recorded  int64 `json:"recorded_samples"`
 	Dropped   int64 `json:"dropped_samples"`
 	Retries   int64 `json:"retries"`
+	Failovers int64 `json:"failovers,omitempty"`
 	SpoolErrs int64 `json:"spool_errors"`
 	Failures  int64 `json:"agent_failures"`
 }
@@ -428,8 +449,10 @@ func (m *manifest) conservation(format string, args ...any) {
 	m.ConservationErrors = append(m.ConservationErrors, fmt.Sprintf(format, args...))
 }
 
-// buildManifest reconciles the fleet's view with the scraped server deltas.
-func buildManifest(fleet fleetResult, before, after *obs.Snapshot, agents, batches, batchSz int) *manifest {
+// buildManifest reconciles the fleet's view with the scraped server deltas;
+// counter deltas are summed across every scraped endpoint, so a tier of
+// share-nothing replicas reconciles as one logical collector.
+func buildManifest(fleet fleetResult, before, after []*obs.Snapshot, agents, batches, batchSz int) *manifest {
 	m := &manifest{
 		Agents:             agents,
 		BatchesPerAgent:    batches,
@@ -441,6 +464,7 @@ func buildManifest(fleet fleetResult, before, after *obs.Snapshot, agents, batch
 			Recorded:  fleet.recorded,
 			Dropped:   fleet.dropped,
 			Retries:   fleet.retries,
+			Failovers: fleet.failovers,
 			SpoolErrs: fleet.spoolErrs,
 			Failures:  fleet.failures,
 		},
@@ -471,7 +495,7 @@ func buildManifest(fleet fleetResult, before, after *obs.Snapshot, agents, batch
 		m.conservation("%d agents failed: %v", fleet.failures, fleet.errs)
 	}
 
-	if after != nil {
+	if len(after) > 0 {
 		m.Server = serverManifest{
 			Frames:     diffCounter(before, after, "collector_batch_frames_total"),
 			Accepted:   diffCounter(before, after, "collector_accepted_batches_total"),
@@ -520,12 +544,32 @@ func pct(sorted []time.Duration, p int) time.Duration {
 	return sorted[rank-1]
 }
 
-// scrape fetches and parses the JSON metrics exposition. An empty URL (no
-// endpoint to scrape, remote mode without -metrics) yields nil.
-func scrape(base string) (*obs.Snapshot, error) {
-	if base == "" {
-		return nil, nil
+// splitList parses a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
 	}
+	return out
+}
+
+// scrapeAll fetches and parses the JSON metrics exposition from every
+// endpoint. No endpoints (remote mode without -metrics) yields nil.
+func scrapeAll(bases []string) ([]*obs.Snapshot, error) {
+	var snaps []*obs.Snapshot
+	for _, base := range bases {
+		snap, err := scrape(base)
+		if err != nil {
+			return nil, fmt.Errorf("scrape %s: %w", base, err)
+		}
+		snaps = append(snaps, snap)
+	}
+	return snaps, nil
+}
+
+func scrape(base string) (*obs.Snapshot, error) {
 	resp, err := http.Get(base + "/metrics?format=json")
 	if err != nil {
 		return nil, err
@@ -541,15 +585,16 @@ func scrape(base string) (*obs.Snapshot, error) {
 	return obs.ParseJSON(body)
 }
 
-// diffCounter is a counter's delta across the run; a nil before treats the
-// run as starting from zero.
-func diffCounter(before, after *obs.Snapshot, name string) int64 {
-	var b int64
-	if before != nil {
-		b = before.CounterTotal(name)
+// diffCounter is a counter's delta across the run, summed over every scraped
+// endpoint — a replica tier's share-nothing counters add up to the tier-wide
+// total. A shorter (or nil) before treats those endpoints as starting at zero.
+func diffCounter(before, after []*obs.Snapshot, name string) int64 {
+	var total int64
+	for i, a := range after {
+		total += a.CounterTotal(name)
+		if i < len(before) {
+			total -= before[i].CounterTotal(name)
+		}
 	}
-	if after == nil {
-		return 0
-	}
-	return after.CounterTotal(name) - b
+	return total
 }

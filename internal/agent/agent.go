@@ -25,8 +25,14 @@ import (
 
 // Config configures an Agent.
 type Config struct {
-	// Server is the collector's TCP address.
+	// Server is the collector's TCP address. With a multi-collector tier,
+	// set Servers instead; Server is then ignored.
 	Server string
+	// Servers lists the collector tier's replica addresses. The agent orders
+	// them per device by rendezvous hashing (see ReplicaPreference), uploads
+	// to the first, and fails over to the next on dial or ack failure. Empty
+	// means the single-server configuration [Server].
+	Servers []string
 	// Device and OS identify this installation.
 	Device trace.DeviceID
 	OS     trace.OS
@@ -49,9 +55,11 @@ type Config struct {
 	// (default 3). Failures beyond the cap leave the batch cached for the
 	// next flush, preserving the paper's cache-and-retry semantics.
 	MaxAttempts int
-	// Backoff is the delay before the first retry; it doubles per attempt
-	// with ±50% jitter (seeded by Device, so a schedule is reproducible)
-	// and is capped at MaxBackoff (defaults 100 ms and 5 s).
+	// Backoff is the delay before the first retry; it doubles per
+	// consecutive failure with ±50% jitter (seeded by Device, so a schedule
+	// is reproducible) and is capped at MaxBackoff (defaults 100 ms and
+	// 5 s). The failure streak persists across Flush calls and resets on
+	// any successful upload, including one that succeeded by failing over.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
 
@@ -93,6 +101,8 @@ type agentMetrics struct {
 	spoolRecords   *obs.Counter
 	spoolErrs      *obs.Counter
 	abandoned      *obs.Counter
+	failovers      *obs.Counter
+	tierExhausted  *obs.Counter
 	backoffSeconds *obs.Histogram
 }
 
@@ -102,6 +112,8 @@ func newAgentMetrics(reg *obs.Registry) agentMetrics {
 	reg.SetHelp("agent_retries_total", "Upload re-attempts after backoff.")
 	reg.SetHelp("agent_backoff_seconds", "Backoff delays slept before retries.")
 	reg.SetHelp("agent_spool_records_total", "Records appended to the disk spool journal.")
+	reg.SetHelp("agent_failovers_total", "Switches to the next collector replica after a failure.")
+	reg.SetHelp("agent_tier_exhausted_total", "Upload rounds in which every configured replica refused.")
 	return agentMetrics{
 		records:        reg.Counter("agent_records_total"),
 		drops:          reg.Counter("agent_drops_total"),
@@ -114,6 +126,8 @@ func newAgentMetrics(reg *obs.Registry) agentMetrics {
 		spoolRecords:   reg.Counter("agent_spool_records_total"),
 		spoolErrs:      reg.Counter("agent_spool_errors_total"),
 		abandoned:      reg.Counter("agent_abandoned_samples_total"),
+		failovers:      reg.Counter("agent_failovers_total"),
+		tierExhausted:  reg.Counter("agent_tier_exhausted_total"),
 		backoffSeconds: reg.Histogram("agent_backoff_seconds", nil),
 	}
 }
@@ -129,6 +143,9 @@ type Stats struct {
 	Redials   int
 	Resumed   int // samples rebuilt from the disk spool at startup
 	SpoolErrs int // journal writes that failed (agent degraded to memory)
+
+	Failovers     int // switches to the next replica after a failure
+	TierExhausted int // upload rounds where every replica refused
 }
 
 // Agent buffers and uploads samples. It is not safe for concurrent use; a
@@ -149,7 +166,11 @@ type Agent struct {
 	inflightID   uint64
 	inflightSent bool // batch bytes may have reached the server (this or a prior incarnation)
 	batchID      uint64
-	serverLast   uint64 // HelloAck.LastBatch from the current session
+	tierLast     uint64 // max HelloAck.LastBatch seen across all replicas
+
+	replicas []string // collector tier in this device's preference order
+	cur      int      // index into replicas of the current target
+	streak   int      // consecutive failed attempts across flushes (backoff exponent)
 
 	spool    *wal.Log // disk journal of the queue; nil without SpoolDir
 	spoolBuf []byte
@@ -164,8 +185,22 @@ type Agent struct {
 
 // New validates cfg and returns an Agent.
 func New(cfg Config) (*Agent, error) {
-	if cfg.Server == "" {
-		return nil, errors.New("agent: empty server address")
+	servers := cfg.Servers
+	if len(servers) == 0 {
+		if cfg.Server == "" {
+			return nil, errors.New("agent: empty server address")
+		}
+		servers = []string{cfg.Server}
+	}
+	seen := make(map[string]bool, len(servers))
+	for _, s := range servers {
+		if s == "" {
+			return nil, errors.New("agent: empty replica address in Servers")
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("agent: duplicate replica address %q", s)
+		}
+		seen[s] = true
 	}
 	if !cfg.OS.Valid() {
 		return nil, fmt.Errorf("agent: invalid OS %d", cfg.OS)
@@ -200,9 +235,10 @@ func New(cfg Config) (*Agent, error) {
 		cfg.Sleep = time.Sleep
 	}
 	a := &Agent{
-		cfg: cfg,
-		m:   newAgentMetrics(cfg.Metrics),
-		rng: rand.New(rand.NewSource(int64(cfg.Device) + 1)),
+		cfg:      cfg,
+		m:        newAgentMetrics(cfg.Metrics),
+		replicas: ReplicaPreference(cfg.Device, servers),
+		rng:      rand.New(rand.NewSource(int64(cfg.Device) + 1)),
 	}
 	if cfg.SpoolDir != "" {
 		if err := a.openSpool(); err != nil {
@@ -305,33 +341,53 @@ func (a *Agent) Flush() error {
 
 // uploadWithRetry drives one frozen batch through up to MaxAttempts
 // transmissions. Transient failures (dial errors, resets, timeouts, lost
-// acks) are retried after a backoff; permanent failures — the server
-// explicitly rejected us, so resending identical bytes cannot succeed —
-// abort immediately.
+// acks) are retried after a backoff against the next replica in the device's
+// preference order; permanent failures — the server explicitly rejected us,
+// so resending identical bytes cannot succeed anywhere — abort immediately.
+//
+// The backoff exponent is the persistent failure streak, not the attempt
+// number within this call: a success (on any replica) resets it, so an agent
+// that fails over to a healthy replica immediately returns to fast uploads,
+// while an agent facing a dark tier keeps escalating across Flush calls.
+// When one round sweeps every replica without success the final error is
+// wrapped in *TierExhaustedError.
 func (a *Agent) uploadWithRetry() error {
+	failed := 0 // failed attempts within this round
 	for attempt := 1; ; attempt++ {
 		err := a.flushInflight()
 		if err == nil {
+			a.streak = 0
 			return nil
 		}
 		a.resetConn()
+		failed++
+		a.streak++
 		var pe *permanentError
-		if errors.As(err, &pe) || attempt >= a.cfg.MaxAttempts {
+		if errors.As(err, &pe) {
+			return err
+		}
+		a.failover()
+		if attempt >= a.cfg.MaxAttempts {
+			if len(a.replicas) > 1 && failed >= len(a.replicas) {
+				a.stats.TierExhausted++
+				a.m.tierExhausted.Inc()
+				return &TierExhaustedError{Replicas: len(a.replicas), Err: err}
+			}
 			return err
 		}
 		a.stats.Retries++
 		a.m.retries.Inc()
-		d := a.backoff(attempt)
+		d := a.backoff(a.streak)
 		a.m.backoffSeconds.Observe(d.Seconds())
 		a.cfg.Sleep(d)
 	}
 }
 
-// backoff returns the jittered delay before retry number attempt (1-based):
-// Backoff doubled per attempt, capped at MaxBackoff, scaled by a random
-// factor in [0.5, 1.5) so synchronized agents decorrelate.
-func (a *Agent) backoff(attempt int) time.Duration {
-	d := a.cfg.Backoff << (attempt - 1)
+// backoff returns the jittered delay after the streak-th consecutive failure
+// (1-based): Backoff doubled per failure, capped at MaxBackoff, scaled by a
+// random factor in [0.5, 1.5) so synchronized agents decorrelate.
+func (a *Agent) backoff(streak int) time.Duration {
+	d := a.cfg.Backoff << (streak - 1)
 	if d <= 0 || d > a.cfg.MaxBackoff {
 		d = a.cfg.MaxBackoff
 	}
@@ -348,13 +404,13 @@ func (a *Agent) flushInflight() error {
 	if err := a.ensureConn(); err != nil {
 		return err
 	}
-	if !a.inflightSent && a.inflightID <= a.serverLast {
+	if !a.inflightSent && a.inflightID <= a.tierLast {
 		// This batch has never been transmitted, but its ID collides with
-		// a batch the server already acked — the local sequence state was
-		// lost (e.g. a wiped spool) while the server remembers the device.
-		// Renumber above the server's high-water mark before the first
+		// a batch some replica already acked — the local sequence state was
+		// lost (e.g. a wiped spool) while the tier remembers the device.
+		// Renumber above the tier-wide high-water mark before the first
 		// send; silently colliding would make dedup swallow fresh samples.
-		a.inflightID = a.serverLast + 1
+		a.inflightID = a.tierLast + 1
 		if a.inflightID > a.batchID {
 			a.batchID = a.inflightID
 		}
@@ -393,14 +449,16 @@ func (a *Agent) flushInflight() error {
 	}
 }
 
-// ensureConn dials and performs the hello handshake when not connected.
+// ensureConn dials the current replica and performs the hello handshake
+// when not connected.
 func (a *Agent) ensureConn() error {
 	if a.connected {
 		return nil
 	}
-	conn, err := a.cfg.Dial(a.cfg.Server, a.cfg.DialTimeout)
+	addr := a.replicas[a.cur]
+	conn, err := a.cfg.Dial(addr, a.cfg.DialTimeout)
 	if err != nil {
-		return fmt.Errorf("agent: dial %s: %w", a.cfg.Server, err)
+		return fmt.Errorf("agent: dial %s: %w", addr, err)
 	}
 	a.stats.Redials++
 	a.m.redials.Inc()
@@ -410,6 +468,8 @@ func (a *Agent) ensureConn() error {
 		Device:  a.cfg.Device,
 		OS:      a.cfg.OS,
 		Token:   a.cfg.Token,
+		Tier:    uint32(len(a.replicas)),
+		Replica: uint32(a.cur),
 	}
 	conn.SetDeadline(time.Now().Add(a.cfg.IOTimeout))
 	if err := pc.WriteFrame(proto.FrameHello, proto.AppendHello(nil, &hello)); err != nil {
@@ -429,11 +489,15 @@ func (a *Agent) ensureConn() error {
 			return err
 		}
 		// Session resume: never number a future batch at or below the
-		// server's last fully-acked ID for this device, even if the local
-		// spool (and with it the sequence state) was lost.
-		a.serverLast = ack.LastBatch
-		if a.inflight == nil && a.batchID < ack.LastBatch {
-			a.batchID = ack.LastBatch
+		// tier's last fully-acked ID for this device, even if the local
+		// spool (and with it the sequence state) was lost. The high-water
+		// mark only ratchets up — a failover target that never saw this
+		// device reports 0 and must not erase what its peers acked.
+		if ack.LastBatch > a.tierLast {
+			a.tierLast = ack.LastBatch
+		}
+		if a.inflight == nil && a.batchID < a.tierLast {
+			a.batchID = a.tierLast
 			a.journal(spoolSeq, appendUvarint(a.spoolBuf[:0], a.batchID))
 		}
 	case proto.FrameError:

@@ -1,0 +1,85 @@
+package agent
+
+// Replica failover: an agent configured with Config.Servers treats the
+// collector as a horizontal tier. Each device orders the replicas by
+// rendezvous (highest-random-weight) hashing — every agent computes the same
+// order for the same device with no coordination, so primaries spread evenly
+// across the tier while each device's order stays stable as the list is
+// reconfigured. Uploads go to the current replica; a dial or ack failure
+// advances to the next replica in the device's preference order (with the
+// usual jittered backoff between attempts), and a success makes the agent
+// sticky on whichever replica answered. Batch dedup is per replica, so a
+// batch that was committed by a dying replica and retried against its
+// successor lands twice across the tier — tiermerge absorbs exactly those
+// duplicates when the per-replica spools are unioned.
+
+import (
+	"fmt"
+	"sort"
+
+	"smartusage/internal/trace"
+)
+
+// ReplicaPreference orders servers for one device by rendezvous hashing:
+// highest score first, ties broken by address so the order is total. Every
+// process computes the same order for the same (device, servers) set,
+// whatever order the addresses were configured in. Index 0 is the device's
+// primary; failover walks the list round-robin from there.
+func ReplicaPreference(dev trace.DeviceID, servers []string) []string {
+	out := append([]string(nil), servers...)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := rendezvousScore(dev, out[i]), rendezvousScore(dev, out[j])
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// rendezvousScore is FNV-1a over the server address followed by the device
+// ID's 8 little-endian bytes — one deterministic weight per (device, server)
+// pair, with no dependence on the rest of the server list.
+func rendezvousScore(dev trace.DeviceID, server string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(server); i++ {
+		h ^= uint64(server[i])
+		h *= prime64
+	}
+	v := uint64(dev)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime64
+		v >>= 8
+	}
+	return h
+}
+
+// TierExhaustedError reports that one upload round tried every configured
+// replica and none accepted the batch — the whole tier refused or was
+// unreachable. It is retryable (the batch stays frozen in flight for the
+// next Flush), but callers can distinguish it from a single-replica outage:
+// backing off harder, or alerting, is appropriate when the entire tier is
+// dark.
+type TierExhaustedError struct {
+	Replicas int   // tier size that was swept
+	Err      error // the final replica's failure
+}
+
+func (e *TierExhaustedError) Error() string {
+	return fmt.Sprintf("agent: all %d replicas refused: %v", e.Replicas, e.Err)
+}
+
+func (e *TierExhaustedError) Unwrap() error { return e.Err }
+
+// failover advances to the next replica in the device's preference order.
+// It is a no-op for a single-server configuration.
+func (a *Agent) failover() {
+	if len(a.replicas) < 2 {
+		return
+	}
+	a.cur = (a.cur + 1) % len(a.replicas)
+	a.stats.Failovers++
+	a.m.failovers.Inc()
+}

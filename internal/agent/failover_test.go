@@ -1,0 +1,213 @@
+package agent
+
+// Tests for multi-replica failover: rendezvous preference determinism and
+// spread, failover to a live replica after the primary dies, backoff-streak
+// reset after a successful failover, and tier-exhausted classification when
+// every replica refuses.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"smartusage/internal/trace"
+)
+
+func TestReplicaPreferenceDeterministicAndSpread(t *testing.T) {
+	servers := []string{"10.0.0.1:7100", "10.0.0.2:7100", "10.0.0.3:7100"}
+	reversed := []string{servers[2], servers[1], servers[0]}
+	primaries := map[string]int{}
+	for dev := trace.DeviceID(0); dev < 100; dev++ {
+		p := ReplicaPreference(dev, servers)
+		if q := ReplicaPreference(dev, reversed); !reflect.DeepEqual(p, q) {
+			t.Fatalf("device %d: order depends on configuration order: %v vs %v", dev, p, q)
+		}
+		got := append([]string(nil), p...)
+		sort.Strings(got)
+		if !reflect.DeepEqual(got, servers) {
+			t.Fatalf("device %d: preference %v is not a permutation of %v", dev, p, servers)
+		}
+		primaries[p[0]]++
+	}
+	// Rendezvous hashing must spread primaries across the tier; a constant
+	// choice would funnel every device to one replica.
+	for _, s := range servers {
+		if primaries[s] == 0 {
+			t.Fatalf("replica %s is primary for 0 of 100 devices: %v", s, primaries)
+		}
+	}
+}
+
+// deadPrimaryDevice returns a device whose rendezvous primary is dead among
+// {dead, alive}, so a test deterministically exercises the failover path.
+func deadPrimaryDevice(t *testing.T, dead, alive string) trace.DeviceID {
+	t.Helper()
+	for dev := trace.DeviceID(1); dev < 1000; dev++ {
+		if ReplicaPreference(dev, []string{dead, alive})[0] == dead {
+			return dev
+		}
+	}
+	t.Fatal("no device prefers the dead replica (hash degenerate?)")
+	return 0
+}
+
+func TestFailoverToSecondReplica(t *testing.T) {
+	addrA, timesA, stopA := timedCollector(t)
+	defer stopA()
+	addrB, timesB, stopB := timedCollector(t)
+	defer stopB()
+
+	dev := deadPrimaryDevice(t, addrA, addrB) // primary A, failover target B
+	a, err := New(Config{
+		Servers: []string{addrA, addrB}, Device: dev, OS: trace.Android,
+		BatchSize: 1 << 30, MaxAttempts: 3,
+		Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+		Dial: func(address string, timeout time.Duration) (net.Conn, error) {
+			if address == addrA {
+				return nil, fmt.Errorf("replica A is down")
+			}
+			return net.DialTimeout("tcp", address, timeout)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.Sample{Device: dev, Time: 600, Battery: 50}
+	a.Record(&s)
+	if err := a.Flush(); err != nil {
+		t.Fatalf("flush did not fail over: %v", err)
+	}
+	st := a.Stats()
+	if st.Failovers != 1 || st.Uploaded != 1 || st.TierExhausted != 0 {
+		t.Fatalf("stats %+v, want exactly one failover", st)
+	}
+	if got := timesA(); len(got) != 0 {
+		t.Fatalf("dead primary received %d samples", len(got))
+	}
+	if got := timesB(); len(got) != 1 || got[0] != 600 {
+		t.Fatalf("failover target got %v, want [600]", got)
+	}
+	a.Close()
+}
+
+// After a successful failover upload the backoff streak must reset: the next
+// outage starts again at the base delay, not where the last one escalated to.
+func TestBackoffStreakResetsAfterFailover(t *testing.T) {
+	okAddr, times, stop := timedCollector(t)
+	defer stop()
+	deadAddr := "127.0.0.1:1"
+	dev := deadPrimaryDevice(t, deadAddr, okAddr)
+
+	var sleeps []time.Duration
+	failFirst := 3 // fail the first N dials outright, whatever the target
+	down := false  // then, phase 2: everything refuses
+	dials := 0
+	a, err := New(Config{
+		Servers: []string{deadAddr, okAddr}, Device: dev, OS: trace.Android,
+		BatchSize: 1 << 30, MaxAttempts: 4,
+		Backoff: 100 * time.Millisecond, // MaxBackoff default 5s: no cap in play
+		Dial: func(address string, timeout time.Duration) (net.Conn, error) {
+			dials++
+			if down || dials <= failFirst {
+				return nil, fmt.Errorf("refused")
+			}
+			return net.DialTimeout("tcp", address, timeout)
+		},
+		Sleep: func(d time.Duration) { sleeps = append(sleeps, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: three failures escalate the streak to 3, then the fourth
+	// attempt succeeds (on whichever replica the round-robin reached).
+	s := trace.Sample{Device: dev, Time: 600, Battery: 50}
+	a.Record(&s)
+	if err := a.Flush(); err != nil {
+		t.Fatalf("phase 1 flush: %v", err)
+	}
+	if len(sleeps) != 3 {
+		t.Fatalf("phase 1 slept %d times, want 3", len(sleeps))
+	}
+	if len(times()) != 1 {
+		t.Fatal("phase 1 sample not delivered")
+	}
+
+	// Phase 2: the tier goes dark. Drop the live connection so the agent
+	// must dial again. Without the reset the streak would be 4 and the
+	// first sleep would land in [400ms, 1200ms); with it the agent starts
+	// over at the base delay, in [50ms, 150ms).
+	down = true
+	a.resetConn()
+	sleeps = nil
+	s = trace.Sample{Device: dev, Time: 1200, Battery: 50}
+	a.Record(&s)
+	if err := a.Flush(); err == nil {
+		t.Fatal("phase 2 flush succeeded with the tier dark")
+	}
+	if len(sleeps) == 0 {
+		t.Fatal("phase 2 never slept")
+	}
+	if lo, hi := 50*time.Millisecond, 150*time.Millisecond; sleeps[0] < lo || sleeps[0] >= hi {
+		t.Fatalf("first sleep after reset = %v, want in [%v, %v)", sleeps[0], lo, hi)
+	}
+}
+
+// A round that sweeps every replica without success is a distinct, retryable
+// condition: *TierExhaustedError, counted separately from per-replica errors.
+func TestTierExhausted(t *testing.T) {
+	dials := 0
+	a, err := New(Config{
+		Servers: []string{"10.0.0.1:7100", "10.0.0.2:7100", "10.0.0.3:7100"},
+		Device:  11, OS: trace.Android,
+		BatchSize: 1 << 30, MaxAttempts: 3,
+		Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+		Dial: func(string, time.Duration) (net.Conn, error) {
+			dials++
+			return nil, fmt.Errorf("refused")
+		},
+		Sleep: func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.Sample{Device: 11, Time: 600, Battery: 50}
+	a.Record(&s)
+	flushErr := a.Flush()
+	if flushErr == nil {
+		t.Fatal("flush succeeded with every replica refusing")
+	}
+	var te *TierExhaustedError
+	if !errors.As(flushErr, &te) {
+		t.Fatalf("error %v (%T) is not a TierExhaustedError", flushErr, flushErr)
+	}
+	if te.Replicas != 3 || te.Unwrap() == nil {
+		t.Fatalf("TierExhaustedError %+v", te)
+	}
+	if dials != 3 {
+		t.Fatalf("dialed %d times, want one per replica", dials)
+	}
+	st := a.Stats()
+	if st.TierExhausted != 1 || st.Failovers != 3 {
+		t.Fatalf("stats %+v, want TierExhausted=1 Failovers=3", st)
+	}
+	if a.Pending() != 1 {
+		t.Fatal("batch lost after tier-exhausted round; it must stay cached")
+	}
+}
+
+func TestNewRejectsBadServerLists(t *testing.T) {
+	if _, err := New(Config{Servers: []string{"a:1", "a:1"}, OS: trace.Android}); err == nil {
+		t.Error("duplicate replica addresses accepted")
+	}
+	if _, err := New(Config{Servers: []string{"a:1", ""}, OS: trace.Android}); err == nil {
+		t.Error("empty replica address accepted")
+	}
+	if _, err := New(Config{OS: trace.Android}); err == nil {
+		t.Error("no server at all accepted")
+	}
+}

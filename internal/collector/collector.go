@@ -38,6 +38,16 @@ type Config struct {
 	Listener net.Listener
 	// Token authenticates agents; empty disables authentication.
 	Token string
+	// ReplicaID and TierReplicas place this instance in a multi-collector
+	// tier: TierReplicas is the tier size and ReplicaID this instance's
+	// index in [0, TierReplicas). Replicas share nothing — each has its own
+	// WAL and spool, dedup stays per replica, and a batch retried against a
+	// different replica after failover lands twice across the tier. The
+	// tiermerge package removes exactly those duplicates when the
+	// per-replica spools are unioned. TierReplicas 0 (the default) is the
+	// standalone configuration.
+	ReplicaID    int
+	TierReplicas int
 	// Sink receives accepted samples.
 	Sink Sink
 	// ReadTimeout bounds each frame read (default 30 s).
@@ -85,6 +95,11 @@ type Stats struct {
 	SinkErrs    atomic.Int64
 	Errors      atomic.Int64
 	Devices     atomic.Int64 // distinct devices that completed a hello
+
+	// FailoverSessions counts hellos from agents connecting to a replica
+	// other than their rendezvous primary — a direct read on how much
+	// failover traffic this instance is absorbing for its peers.
+	FailoverSessions atomic.Int64
 }
 
 // DeviceStats is the per-device session bookkeeping kept by the server.
@@ -119,6 +134,8 @@ type serverMetrics struct {
 	recBatches  *obs.Counter
 	resinked    *obs.Counter
 	checkpoints *obs.Counter
+	replicaID   *obs.Gauge
+	failoverIn  *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry, perDevice bool) serverMetrics {
@@ -128,6 +145,8 @@ func newServerMetrics(reg *obs.Registry, perDevice bool) serverMetrics {
 	reg.SetHelp("collector_samples_total", "Samples accepted into the sink.")
 	reg.SetHelp("collector_sink_seconds", "Per-sample sink call latency.")
 	reg.SetHelp("collector_recoveries_total", "WAL recoveries completed at startup.")
+	reg.SetHelp("collector_replica_id", "This instance's index within the collector tier.")
+	reg.SetHelp("collector_failover_sessions_total", "Hellos from agents failed over from another replica.")
 	return serverMetrics{
 		timed:       reg != nil,
 		perDevice:   reg != nil && perDevice,
@@ -148,6 +167,8 @@ func newServerMetrics(reg *obs.Registry, perDevice bool) serverMetrics {
 		recBatches:  reg.Counter("collector_recovered_batches_total"),
 		resinked:    reg.Counter("collector_resinked_samples_total"),
 		checkpoints: reg.Counter("collector_checkpoints_total"),
+		replicaID:   reg.Gauge("collector_replica_id"),
+		failoverIn:  reg.Counter("collector_failover_sessions_total"),
 	}
 }
 
@@ -212,13 +233,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxConns == 0 {
 		cfg.MaxConns = 256
 	}
+	if cfg.TierReplicas > 0 && (cfg.ReplicaID < 0 || cfg.ReplicaID >= cfg.TierReplicas) {
+		return nil, fmt.Errorf("collector: replica id %d outside tier of %d", cfg.ReplicaID, cfg.TierReplicas)
+	}
+	if cfg.TierReplicas == 0 && cfg.ReplicaID != 0 {
+		return nil, fmt.Errorf("collector: replica id %d without a tier size", cfg.ReplicaID)
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = log.Printf
 	}
+	m := newServerMetrics(cfg.Metrics, cfg.PerDeviceMetrics)
+	m.replicaID.Set(int64(cfg.ReplicaID))
 	return &Server{
 		cfg:     cfg,
-		m:       newServerMetrics(cfg.Metrics, cfg.PerDeviceMetrics),
+		m:       m,
 		sink:    cfg.Sink,
 		devices: make(map[trace.DeviceID]*deviceState),
 		sem:     make(chan struct{}, cfg.MaxConns),
@@ -362,6 +391,13 @@ func (s *Server) handle(ctx context.Context, nc net.Conn) error {
 		s.stats.AuthFails.Add(1)
 		s.m.authFails.Inc()
 		return s.fail(nc, c, "authentication failed")
+	}
+	if hello.Replica > 0 {
+		// The agent ranked this server below its rendezvous primary, so it
+		// is here because a preferred replica failed (or failed earlier in
+		// a still-sticky session).
+		s.stats.FailoverSessions.Add(1)
+		s.m.failoverIn.Inc()
 	}
 	lastBatch, dm := s.beginSession(hello.Device)
 	ack := proto.HelloAck{SessionID: s.sessionID.Add(1), LastBatch: lastBatch}

@@ -1,0 +1,82 @@
+package faultnet
+
+// Tier-kill injection: a TierPlan extends the single-process CrashPlan to a
+// replicated collector tier. It schedules a sequence of whole-replica kills
+// — each one a CrashPlan firing at a named durability point — that fire
+// strictly in order: kill k+1 only starts counting hits after kill k has
+// fired, so a scripted cascade ("kill the primary, then kill the replica the
+// traffic failed over to") is deterministic however the replicas interleave.
+//
+// Each replica incarnation takes its own Hook(replica) closure. When a kill
+// targeting the replica fires through a closure, that closure is dead
+// forever (ErrDown) — every component of the incarnation sharing it stops
+// committing, like the threads of one kill -9'd process — while a restarted
+// incarnation gets a fresh closure and only dies again if a later kill
+// targets the same replica.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// TierKill schedules one whole-replica kill: the replica with index Replica
+// dies at the Hit'th check of Point counted from when this kill becomes
+// active (the preceding kill fired).
+type TierKill struct {
+	Replica int
+	Point   string
+	Hit     int
+}
+
+// TierPlan fires a sequence of TierKills in order. Hooks are safe for
+// concurrent use.
+type TierPlan struct {
+	kills []TierKill
+	plans []*CrashPlan
+}
+
+// NewTierPlan returns a plan over the given kill sequence.
+func NewTierPlan(kills ...TierKill) *TierPlan {
+	p := &TierPlan{kills: kills}
+	for _, k := range kills {
+		p.plans = append(p.plans, NewCrashPlan(k.Point, k.Hit))
+	}
+	return p
+}
+
+// Fired returns the channel closed when the i'th kill fires.
+func (p *TierPlan) Fired(i int) <-chan struct{} { return p.plans[i].fired }
+
+// Hook returns the crash hook for one incarnation of the given replica.
+// Wire it into everything that makes up the incarnation (collector Hook and
+// WAL Hook) so the whole process dies as one.
+func (p *TierPlan) Hook(replica int) func(point string) error {
+	var mu sync.Mutex // serializes death: no check may slip past a firing kill
+	var dead atomic.Bool
+	return func(point string) error {
+		if dead.Load() {
+			return ErrDown
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if dead.Load() {
+			return ErrDown
+		}
+		for i, plan := range p.plans {
+			select {
+			case <-plan.fired:
+				continue // this kill is history; the next one is active
+			default:
+			}
+			if p.kills[i].Replica != replica {
+				return nil // active kill targets a peer; we pass untouched
+			}
+			err := plan.Check(point)
+			if err != nil {
+				dead.Store(true)
+			}
+			return err
+		}
+		return nil // every scheduled kill has fired; survivors run clean
+	}
+}

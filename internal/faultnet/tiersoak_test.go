@@ -1,0 +1,399 @@
+package faultnet_test
+
+// The multi-collector failover soak: agents configured with the whole
+// replica tier push batches while a TierPlan kills entire collector
+// instances — first the rendezvous primary of a device guaranteed to carry
+// traffic, then, once traffic has failed over, the failover target itself —
+// at a chosen point in the durability pipeline. Each killed replica is
+// cold-restarted from its own WAL and spool. The end state is asserted
+// exactly-once across the tier: the tiermerge union of the per-replica
+// spools holds every recorded sample exactly once, in per-device order, and
+// is DeepEqual to the spool of a fault-free single-collector run of the
+// identical workload. Obs counters spanning every incarnation must
+// reconcile: zero lost, zero double-sunk. Runs under -race.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"smartusage/internal/agent"
+	"smartusage/internal/collector"
+	"smartusage/internal/faultnet"
+	"smartusage/internal/obs"
+	"smartusage/internal/tiermerge"
+	"smartusage/internal/trace"
+	"smartusage/internal/wal"
+)
+
+const (
+	tierReplicas  = 3
+	tierAgents    = 4
+	tierBatchSize = 4
+	tierBatches   = 6
+	tierSamples   = tierBatchSize * tierBatches // per agent
+)
+
+func TestTierFailoverSoak(t *testing.T) {
+	points := []string{
+		faultnet.CrashWALAppend,
+		faultnet.CrashPreFsync,
+		faultnet.CrashPreSink,
+		faultnet.CrashPreAck,
+	}
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, point := range points {
+		point := point
+		t.Run(point, func(t *testing.T) {
+			for _, seed := range seeds {
+				seed := seed
+				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+					t.Parallel()
+					runTierSoak(t, point, seed)
+				})
+			}
+		})
+	}
+}
+
+// startTierReplica cold-starts one collector incarnation of a tier: open its
+// WAL (repairing any torn tail), recover dedup + sink state from it, listen
+// (adopting lis when non-nil, else binding addr with retries while the dead
+// incarnation's socket drains), serve, and checkpoint periodically. hook is
+// this incarnation's tier crash hook — nil for one that must survive.
+func startTierReplica(t *testing.T, addr string, lis net.Listener, walDir, spoolDir string, replica, tier int, hook func(string) error, reg *obs.Registry) *crashCollector {
+	t.Helper()
+	w, err := wal.Open(walDir, wal.Options{
+		SegmentBytes: 4 << 10,
+		Policy:       wal.FsyncRecord,
+		Hook:         hook,
+		Metrics:      reg,
+	})
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	sp, err := collector.NewRotatingSpool(spoolDir, 2<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := collector.New(collector.Config{
+		Addr:         addr,
+		Listener:     lis,
+		Token:        "tier",
+		Sink:         sp.Sink(),
+		ReadTimeout:  200 * time.Millisecond,
+		WriteTimeout: 200 * time.Millisecond,
+		ReplicaID:    replica,
+		TierReplicas: tier,
+		WAL:          w,
+		Hook:         hook,
+		Logf:         func(string, ...any) {},
+		Metrics:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := srv.Recover(sp.Restore)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	var lerr error
+	for i := 0; i < 100; i++ {
+		if lerr = srv.Listen(); lerr == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if lerr != nil {
+		t.Fatalf("listen %s: %v", addr, lerr)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		srv.Serve(ctx)
+	}()
+	go func() {
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				_ = srv.Checkpoint(sp.Seal)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return &crashCollector{
+		srv: srv, spool: sp, wal: w, rec: rec,
+		stop: func() {
+			cancel()
+			<-served
+		},
+	}
+}
+
+func waitTierKill(t *testing.T, plan *faultnet.TierPlan, i int) {
+	t.Helper()
+	select {
+	case <-plan.Fired(i):
+	case <-time.After(20 * time.Second):
+		t.Fatalf("tier kill %d never fired; the soak exercised nothing", i)
+	}
+}
+
+// mergeSpools unions replica spool directories and returns the deduplicated
+// stream plus merge stats, failing the test on double-sinks or conflicts.
+func mergeSpools(t *testing.T, dirs []string) ([]trace.Sample, *tiermerge.Stats) {
+	t.Helper()
+	var out []trace.Sample
+	st, err := tiermerge.MergeDirs(dirs, func(s *trace.Sample) error {
+		out = append(out, *s.Clone())
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("tiermerge: %v", err)
+	}
+	return out, st
+}
+
+func runTierSoak(t *testing.T, point string, seed int64) {
+	dir := t.TempDir()
+
+	// One registry spans the whole tier and every incarnation of it, like a
+	// metrics backend outliving the scraped processes. The collector and WAL
+	// counters are unlabeled aggregates, so they sum tier-wide on their own.
+	reg := obs.NewRegistry()
+
+	// Bind the tier's listeners first: the kill schedule needs the addresses
+	// to decide, via the same rendezvous hash the agents use, which replica
+	// carries device 0's traffic (kill one) and where that traffic fails
+	// over to (kill two).
+	addrs := make([]string, tierReplicas)
+	liss := make([]net.Listener, tierReplicas)
+	for i := range liss {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		liss[i] = lis
+		addrs[i] = lis.Addr().String()
+	}
+	devs := make([]trace.DeviceID, tierAgents)
+	for d := range devs {
+		devs[d] = trace.DeviceID(9100*seed + int64(d) + 1)
+	}
+	prefs := agent.ReplicaPreference(devs[0], addrs)
+	idx := func(addr string) int {
+		for i, a := range addrs {
+			if a == addr {
+				return i
+			}
+		}
+		t.Fatalf("address %s not in tier", addr)
+		return -1
+	}
+	kill1, kill2 := idx(prefs[0]), idx(prefs[1])
+
+	// Kill one fires within device 0's first 2+seed batches on its primary
+	// (it may fire on a peer's traffic even sooner); device 0 then still has
+	// batches to upload, so its failover guarantees kill two's single hit.
+	plan := faultnet.NewTierPlan(
+		faultnet.TierKill{Replica: kill1, Point: point, Hit: int(2 + seed)},
+		faultnet.TierKill{Replica: kill2, Point: point, Hit: 1},
+	)
+
+	walDir := func(r int) string { return filepath.Join(dir, fmt.Sprintf("wal%d", r)) }
+	spoolDir := func(r int) string { return filepath.Join(dir, fmt.Sprintf("spool%d", r)) }
+	incs := make([]*crashCollector, tierReplicas)
+	recs := make([]*collector.Recovery, 0, tierReplicas+2)
+	for r := range incs {
+		incs[r] = startTierReplica(t, "", liss[r], walDir(r), spoolDir(r), r, tierReplicas, plan.Hook(r), reg)
+		recs = append(recs, incs[r].rec)
+	}
+
+	type result struct {
+		dev trace.DeviceID
+		err error
+	}
+	results := make(chan result, tierAgents)
+	for d := 0; d < tierAgents; d++ {
+		dev := devs[d]
+		go func() {
+			results <- result{dev: dev, err: runTierAgent(filepath.Join(dir, "agents"), addrs, dev, reg)}
+		}()
+	}
+
+	// Kill one: device 0's primary dies mid-pipeline; cold-restart it on the
+	// same address while the agents fail over.
+	waitTierKill(t, plan, 0)
+	incs[kill1].stop()
+	incs[kill1] = startTierReplica(t, addrs[kill1], nil, walDir(kill1), spoolDir(kill1), kill1, tierReplicas, plan.Hook(kill1), reg)
+	recs = append(recs, incs[kill1].rec)
+
+	// Kill two: the replica the traffic failed over to dies as well.
+	waitTierKill(t, plan, 1)
+	incs[kill2].stop()
+	incs[kill2] = startTierReplica(t, addrs[kill2], nil, walDir(kill2), spoolDir(kill2), kill2, tierReplicas, plan.Hook(kill2), reg)
+	recs = append(recs, incs[kill2].rec)
+
+	for i := 0; i < tierAgents; i++ {
+		if r := <-results; r.err != nil {
+			t.Fatalf("agent %s: %v", r.dev, r.err)
+		}
+	}
+	tierDirs := make([]string, tierReplicas)
+	for r, inc := range incs {
+		inc.stop()
+		if err := inc.spool.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.wal.Close(); err != nil {
+			t.Fatal(err)
+		}
+		tierDirs[r] = spoolDir(r)
+	}
+
+	// Exactly-once conservation across the tier: the merged union holds each
+	// recorded sample once, in per-device time order. MergeDirs itself
+	// enforces zero-double-sunk — an intra-replica duplicate fails the merge.
+	merged, st := mergeSpools(t, tierDirs)
+	if st.Unique != tierAgents*tierSamples {
+		t.Fatalf("tiermerge found %d unique samples, want %d (stats %+v)", st.Unique, tierAgents*tierSamples, st)
+	}
+	byDev := make(map[trace.DeviceID][]int64)
+	for i := range merged {
+		byDev[merged[i].Device] = append(byDev[merged[i].Device], merged[i].Time)
+	}
+	if len(byDev) != tierAgents {
+		t.Fatalf("merged stream holds %d devices, want %d", len(byDev), tierAgents)
+	}
+	for dev, times := range byDev {
+		if len(times) != tierSamples {
+			t.Fatalf("device %s: %d samples after merge, want %d", dev, len(times), tierSamples)
+		}
+		for j, ts := range times {
+			if ts != int64(j)*600 {
+				t.Fatalf("device %s: merge position %d holds time %d, want %d (loss or reorder)", dev, j, ts, int64(j)*600)
+			}
+		}
+	}
+
+	// The tier must be invisible downstream: the same deterministic workload
+	// through one fault-free collector yields a spool whose merge is
+	// DeepEqual to the chaos run's.
+	baseline := runBaselineCampaign(t, filepath.Join(dir, "baseline"), devs)
+	if !reflect.DeepEqual(merged, baseline) {
+		t.Fatal("tiermerged campaign differs from the single-collector baseline")
+	}
+
+	// Obs conservation across every incarnation: the shared registry's
+	// recovery counters equal the summed Recovery reports, the agents
+	// recorded and were acked for exactly the workload, and both sides saw
+	// actual failover.
+	var wantBatches, wantResinked, wantTorn int64
+	for _, r := range recs {
+		wantBatches += r.Batches
+		wantResinked += r.Resinked
+		wantTorn += r.TornBytes
+	}
+	counter := func(name string, ls ...obs.Label) int64 { return reg.Counter(name, ls...).Value() }
+	for _, chk := range []struct {
+		metric string
+		got    int64
+		want   int64
+	}{
+		{"collector_recoveries_total", counter("collector_recoveries_total"), int64(len(recs))},
+		{"collector_recovered_batches_total", counter("collector_recovered_batches_total"), wantBatches},
+		{"collector_resinked_samples_total", counter("collector_resinked_samples_total"), wantResinked},
+		{"wal_torn_bytes_total", counter("wal_torn_bytes_total", obs.L("wal", "wal")), wantTorn},
+		{"agent_records_total", counter("agent_records_total"), int64(tierAgents * tierSamples)},
+		{"agent_uploads_total", counter("agent_uploads_total"), int64(tierAgents * tierSamples)},
+	} {
+		if chk.got != chk.want {
+			t.Errorf("obs %s = %d, want %d", chk.metric, chk.got, chk.want)
+		}
+	}
+	if counter("agent_failovers_total") == 0 {
+		t.Error("no agent ever failed over; the tier kills exercised nothing")
+	}
+	if counter("collector_failover_sessions_total") == 0 {
+		t.Error("no replica counted a failover session")
+	}
+	if point == faultnet.CrashWALAppend && wantTorn == 0 {
+		t.Error("wal-append kills left no torn tail record to repair")
+	}
+}
+
+// runBaselineCampaign runs the identical workload — same devices, same
+// samples — through one fault-free collector under its own registry and
+// returns its spool's merged stream.
+func runBaselineCampaign(t *testing.T, dir string, devs []trace.DeviceID) []trace.Sample {
+	t.Helper()
+	reg := obs.NewRegistry()
+	base := startTierReplica(t, "127.0.0.1:0", nil, filepath.Join(dir, "wal"), filepath.Join(dir, "spool"), 0, 1, nil, reg)
+	addr := base.srv.Addr().String()
+	errs := make(chan error, len(devs))
+	for _, dev := range devs {
+		dev := dev
+		go func() {
+			errs <- runTierAgent(filepath.Join(dir, "agents"), []string{addr}, dev, reg)
+		}()
+	}
+	for range devs {
+		if err := <-errs; err != nil {
+			t.Fatalf("baseline agent: %v", err)
+		}
+	}
+	base.stop()
+	if err := base.spool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	merged, _ := mergeSpools(t, []string{filepath.Join(dir, "spool")})
+	return merged
+}
+
+// runTierAgent records tierSamples samples through the faulty tier, draining
+// with retries until everything is uploaded.
+func runTierAgent(spoolRoot string, servers []string, dev trace.DeviceID, reg *obs.Registry) error {
+	a, err := agent.New(agent.Config{
+		Servers:     servers,
+		Device:      dev,
+		OS:          trace.Android,
+		Token:       "tier",
+		BatchSize:   tierBatchSize,
+		MaxAttempts: 3,
+		Backoff:     time.Millisecond,
+		MaxBackoff:  8 * time.Millisecond,
+		DialTimeout: time.Second,
+		IOTimeout:   150 * time.Millisecond,
+		SpoolDir:    filepath.Join(spoolRoot, dev.String()),
+		Metrics:     reg,
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < tierSamples; i++ {
+		s := trace.Sample{Device: dev, OS: trace.Android, Time: int64(i) * 600, Battery: 50}
+		a.Record(&s)
+	}
+	for try := 0; a.Pending() > 0; try++ {
+		if try > crashDrainTries {
+			return fmt.Errorf("%d samples still pending after %d flushes", a.Pending(), try)
+		}
+		a.Flush()
+		time.Sleep(time.Millisecond)
+	}
+	return a.Close()
+}

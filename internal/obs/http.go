@@ -15,10 +15,16 @@ import (
 	"sync/atomic"
 )
 
-// Health is the drain-aware liveness state behind /healthz. The zero value
-// is healthy; a nil *Health is always healthy.
+// Health is the liveness state behind /healthz. The zero value is healthy;
+// a nil *Health is always healthy. A server is degraded (503) while it is
+// recovering (replaying its WAL at startup — it would accept connections
+// but double its replay work and answer with stale dedup state) and while
+// it is draining (graceful shutdown). Failover clients and load balancers
+// must route around both states: a mid-recovery replica is the worst
+// possible failover target.
 type Health struct {
-	draining atomic.Bool
+	draining   atomic.Bool
+	recovering atomic.Bool
 }
 
 // SetDraining flips /healthz to 503 — called when graceful shutdown begins,
@@ -33,6 +39,21 @@ func (h *Health) SetDraining() {
 // Draining reports whether the drain flag is set.
 func (h *Health) Draining() bool {
 	return h != nil && h.draining.Load()
+}
+
+// SetRecovering marks (or clears) the WAL-recovery startup window. Set it
+// before the WAL is opened and clear it only after Recover has finished, so
+// /healthz never reports ready while replay is still rebuilding state.
+func (h *Health) SetRecovering(v bool) {
+	if h == nil {
+		return
+	}
+	h.recovering.Store(v)
+}
+
+// Recovering reports whether the recovery flag is set.
+func (h *Health) Recovering() bool {
+	return h != nil && h.recovering.Load()
 }
 
 // Handler returns the endpoint mux for one registry and health state.
@@ -56,6 +77,10 @@ func Handler(reg *Registry, health *Health) http.Handler {
 		snap.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if health.Recovering() {
+			http.Error(w, "recovering", http.StatusServiceUnavailable)
+			return
+		}
 		if health.Draining() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return

@@ -49,6 +49,14 @@ func TestEndpoints(t *testing.T) {
 		t.Errorf("JSON exposition missing %q:\n%s", want, body)
 	}
 
+	// Startup order: a WAL-backed collector is recovering before it is
+	// ready, so the 503 must precede the first 200 — a failover client
+	// probing mid-recovery must not pick this replica.
+	health.SetRecovering(true)
+	if code, body = get(t, srv, "/healthz"); code != http.StatusServiceUnavailable || body != "recovering\n" {
+		t.Errorf("/healthz during recovery = %d %q, want 503 recovering", code, body)
+	}
+	health.SetRecovering(false)
 	if code, body = get(t, srv, "/healthz"); code != http.StatusOK || body != "ok\n" {
 		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
 	}

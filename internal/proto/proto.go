@@ -73,8 +73,10 @@ const MaxFrameSize = 4 << 20
 // per-frame CRC-32C trailer; version 3 added session resume (HelloAck
 // carries the server's last fully-acked batch ID for the device, so an
 // agent restarting from its disk spool can fast-forward past batches the
-// server already has).
-const Version = 3
+// server already has); version 4 made the hello replica-aware (Tier and
+// Replica describe the agent's view of the collector tier, so a replica
+// can count the sessions that reach it through failover).
+const Version = 4
 
 // ErrFrameTooLarge is returned when a peer announces an oversized frame.
 var ErrFrameTooLarge = errors.New("proto: frame exceeds size limit")
@@ -87,11 +89,21 @@ var ErrFrameChecksum = errors.New("proto: frame checksum mismatch")
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Hello is the client's opening frame.
+//
+// Tier and Replica (version 4) carry the agent's view of the collector
+// tier: Tier is how many replicas the agent is configured with (0 or 1 when
+// untiered), Replica is this server's rank in the agent's device-specific
+// rendezvous preference order. Rank 0 is the device's primary; anything
+// higher means the agent failed past that many better-ranked replicas to
+// get here, which is how a collector counts failover sessions without any
+// cross-replica coordination.
 type Hello struct {
 	Version uint32
 	Device  trace.DeviceID
 	OS      trace.OS
 	Token   string
+	Tier    uint32
+	Replica uint32
 }
 
 // HelloAck is the server's response to Hello. LastBatch is the highest
@@ -231,6 +243,8 @@ func AppendHello(dst []byte, h *Hello) []byte {
 	dst = append(dst, byte(h.OS))
 	dst = binary.AppendUvarint(dst, uint64(len(h.Token)))
 	dst = append(dst, h.Token...)
+	dst = binary.AppendUvarint(dst, uint64(h.Tier))
+	dst = binary.AppendUvarint(dst, uint64(h.Replica))
 	return dst
 }
 
@@ -241,6 +255,8 @@ func DecodeHello(buf []byte, h *Hello) error {
 	h.Device = trace.DeviceID(d.uvarint())
 	h.OS = trace.OS(d.byte())
 	h.Token = d.string()
+	h.Tier = uint32(d.uvarint())
+	h.Replica = uint32(d.uvarint())
 	return d.finish("hello")
 }
 

@@ -60,7 +60,7 @@ func TestReadFrameTooLarge(t *testing.T) {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
-	in := Hello{Version: Version, Device: 0xdeadbeef, OS: trace.IOS, Token: "s3cret"}
+	in := Hello{Version: Version, Device: 0xdeadbeef, OS: trace.IOS, Token: "s3cret", Tier: 3, Replica: 2}
 	buf := AppendHello(nil, &in)
 	var out Hello
 	if err := DecodeHello(buf, &out); err != nil {

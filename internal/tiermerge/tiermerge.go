@@ -1,0 +1,140 @@
+// Package tiermerge unions the per-replica trace spools of a multi-collector
+// tier into one deterministic, exactly-once sample stream.
+//
+// Replicas share nothing: each deduplicates agent batches against only its
+// own state, so a batch committed by a dying replica and retried against its
+// failover successor is spooled by both. Those cross-replica duplicates are
+// the one anomaly failover is allowed to create, and this package is where
+// they die: the union is keyed by (device, time) — a device records at most
+// one sample per timestamp — and a key seen on two replicas must carry
+// byte-identical payloads, or the tier has diverged and the merge fails
+// loudly rather than pick a side. A key seen twice within a single replica's
+// spool is a double-sink: the per-replica exactly-once machinery (WAL,
+// dedup, partial-sink resume) is supposed to make that impossible, so the
+// merge refuses to launder it.
+//
+// Output is emitted in (device, time) order, which makes it a pure function
+// of the sample set: any enumeration order of the replica directories, and
+// any distribution of the samples across them, produces the identical
+// stream. The analysis path consumes it through Source, whose every
+// invocation re-merges from disk — the restartable-stream contract
+// analysis.Source requires.
+package tiermerge
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"smartusage/internal/analysis"
+	"smartusage/internal/trace"
+)
+
+// Stats describes one merge pass.
+type Stats struct {
+	Replicas     int // spool directories merged
+	Segments     int // segment files read across all replicas
+	Read         int // samples read across all replicas
+	Unique       int // distinct samples emitted
+	FailoverDups int // cross-replica duplicates absorbed
+}
+
+// mergeKey identifies a sample: a device records at most one sample per
+// timestamp, so (device, time) is the tier-wide identity.
+type mergeKey struct {
+	dev trace.DeviceID
+	t   int64
+}
+
+// MergeDirs unions the spool segments (spool-*.trace) under each replica
+// directory and streams the deduplicated samples to emit in (device, time)
+// order. The *trace.Sample passed to emit is reused; emit must copy retained
+// data. Intra-replica duplicates and cross-replica payload conflicts are
+// errors. A directory with no segments contributes nothing — a replica that
+// never saw traffic is a healthy tier member, not a failure.
+func MergeDirs(dirs []string, emit func(*trace.Sample) error) (*Stats, error) {
+	st := &Stats{Replicas: len(dirs)}
+	type entry struct {
+		enc     []byte // canonical re-encoded payload
+		replica int    // first replica (by dirs index) that carried it
+	}
+	seen := make(map[mergeKey]entry)
+	var scratch []byte
+	for ri, dir := range dirs {
+		segs, err := filepath.Glob(filepath.Join(dir, "spool-*.trace"))
+		if err != nil {
+			return nil, fmt.Errorf("tiermerge: list %s: %w", dir, err)
+		}
+		sort.Strings(segs)
+		for _, seg := range segs {
+			st.Segments++
+			if err := readSegment(seg, func(s *trace.Sample) error {
+				st.Read++
+				k := mergeKey{s.Device, s.Time}
+				scratch = trace.AppendSample(scratch[:0], s)
+				prev, dup := seen[k]
+				if !dup {
+					seen[k] = entry{enc: append([]byte(nil), scratch...), replica: ri}
+					return nil
+				}
+				if prev.replica == ri {
+					return fmt.Errorf("tiermerge: replica %d (%s) spooled device %s time %d twice: double-sink", ri, dir, k.dev, k.t)
+				}
+				if !bytes.Equal(prev.enc, scratch) {
+					return fmt.Errorf("tiermerge: replicas %d and %d disagree on device %s time %d: tier diverged", prev.replica, ri, k.dev, k.t)
+				}
+				st.FailoverDups++
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	keys := make([]mergeKey, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dev != keys[j].dev {
+			return keys[i].dev < keys[j].dev
+		}
+		return keys[i].t < keys[j].t
+	})
+	st.Unique = len(keys)
+	var out trace.Sample
+	for _, k := range keys {
+		n, err := trace.DecodeSample(seen[k].enc, &out)
+		if err != nil || n != len(seen[k].enc) {
+			return nil, fmt.Errorf("tiermerge: re-decode device %s time %d: %v", k.dev, k.t, err)
+		}
+		if err := emit(&out); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func readSegment(path string, fn func(*trace.Sample) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("tiermerge: open segment: %w", err)
+	}
+	defer f.Close()
+	if err := trace.NewReader(f).ReadAll(fn); err != nil {
+		return fmt.Errorf("tiermerge: %s: %w", path, err)
+	}
+	return nil
+}
+
+// Source adapts a replica directory set to the analysis pipeline. Each
+// invocation re-merges from disk, satisfying analysis.Source's restartable
+// contract (AnalyzeCampaign makes two passes).
+func Source(dirs []string) analysis.Source {
+	return func(fn func(*trace.Sample) error) error {
+		_, err := MergeDirs(dirs, fn)
+		return err
+	}
+}

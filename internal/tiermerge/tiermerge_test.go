@@ -1,0 +1,162 @@
+package tiermerge
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"smartusage/internal/trace"
+)
+
+// writeSpool writes one spool segment under dir containing samples, using
+// the same naming the collector's RotatingSpool produces.
+func writeSpool(t *testing.T, dir string, seq int, samples []trace.Sample) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("spool-%06d.trace", seq)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewWriter(f)
+	for i := range samples {
+		if err := w.Write(&samples[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkSample(dev trace.DeviceID, tm int64) trace.Sample {
+	return trace.Sample{Device: dev, OS: trace.Android, Time: tm, Battery: 50, CellRX: uint64(dev)*1000 + uint64(tm)}
+}
+
+// collect runs MergeDirs and deep-copies the emitted stream.
+func collect(t *testing.T, dirs []string) ([]trace.Sample, *Stats) {
+	t.Helper()
+	var out []trace.Sample
+	st, err := MergeDirs(dirs, func(s *trace.Sample) error {
+		out = append(out, *s.Clone())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, st
+}
+
+func TestMergeAbsorbsFailoverDuplicates(t *testing.T) {
+	base := t.TempDir()
+	r0, r1 := filepath.Join(base, "r0"), filepath.Join(base, "r1")
+	shared := mkSample(2, 600) // committed on r0, retried against r1 after failover
+	writeSpool(t, r0, 0, []trace.Sample{mkSample(1, 0), shared, mkSample(1, 600)})
+	writeSpool(t, r1, 0, []trace.Sample{shared, mkSample(3, 0)})
+
+	out, st := collect(t, []string{r0, r1})
+	want := []trace.Sample{mkSample(1, 0), mkSample(1, 600), mkSample(2, 600), mkSample(3, 0)}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("merged stream:\n got %+v\nwant %+v", out, want)
+	}
+	if st.Read != 5 || st.Unique != 4 || st.FailoverDups != 1 || st.Replicas != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// The satellite acceptance table: the merged stream and stats must be
+// identical under every enumeration order of the replica directories.
+func TestMergeDeterministicAcrossEnumerationOrder(t *testing.T) {
+	base := t.TempDir()
+	r0, r1, r2 := filepath.Join(base, "r0"), filepath.Join(base, "r1"), filepath.Join(base, "r2")
+	dup := mkSample(5, 1200)
+	writeSpool(t, r0, 0, []trace.Sample{mkSample(4, 0), dup})
+	writeSpool(t, r0, 1, []trace.Sample{mkSample(4, 600)})
+	writeSpool(t, r1, 0, []trace.Sample{dup, mkSample(5, 1800)})
+	writeSpool(t, r2, 0, []trace.Sample{mkSample(6, 0), dup})
+
+	refOut, refStats := collect(t, []string{r0, r1, r2})
+	for _, tc := range []struct {
+		name string
+		dirs []string
+	}{
+		{"reversed", []string{r2, r1, r0}},
+		{"rotated", []string{r1, r2, r0}},
+		{"swapped tail", []string{r0, r2, r1}},
+	} {
+		out, st := collect(t, tc.dirs)
+		if !reflect.DeepEqual(out, refOut) {
+			t.Errorf("%s: merged stream differs from canonical order", tc.name)
+		}
+		if !reflect.DeepEqual(st, refStats) {
+			t.Errorf("%s: stats %+v differ from canonical %+v", tc.name, st, refStats)
+		}
+	}
+	if refStats.FailoverDups != 2 || refStats.Unique != 5 {
+		t.Fatalf("canonical stats %+v", refStats)
+	}
+}
+
+// A duplicate inside one replica's own spool is not failover fallout — it
+// means that replica double-sinked, and the merge must refuse to hide it.
+func TestMergeRejectsIntraReplicaDuplicate(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "r0")
+	s := mkSample(7, 600)
+	writeSpool(t, dir, 0, []trace.Sample{s, mkSample(7, 1200), s})
+	_, err := MergeDirs([]string{dir}, func(*trace.Sample) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "double-sink") {
+		t.Fatalf("intra-replica duplicate not rejected: %v", err)
+	}
+}
+
+// Two replicas carrying different payloads for the same (device, time) means
+// the tier diverged; picking either silently would corrupt the campaign.
+func TestMergeRejectsConflictingPayloads(t *testing.T) {
+	base := t.TempDir()
+	r0, r1 := filepath.Join(base, "r0"), filepath.Join(base, "r1")
+	a := mkSample(8, 600)
+	b := a
+	b.CellRX++ // same identity, different payload
+	writeSpool(t, r0, 0, []trace.Sample{a})
+	writeSpool(t, r1, 0, []trace.Sample{b})
+	_, err := MergeDirs([]string{r0, r1}, func(*trace.Sample) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("conflicting payloads not rejected: %v", err)
+	}
+}
+
+func TestMergeEmptyReplicaContributesNothing(t *testing.T) {
+	base := t.TempDir()
+	r0, idle := filepath.Join(base, "r0"), filepath.Join(base, "idle")
+	if err := os.MkdirAll(idle, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeSpool(t, r0, 0, []trace.Sample{mkSample(1, 0)})
+	out, st := collect(t, []string{r0, idle})
+	if len(out) != 1 || st.Unique != 1 || st.Replicas != 2 || st.Segments != 1 {
+		t.Fatalf("got %d samples, stats %+v", len(out), st)
+	}
+}
+
+// Source must be restartable: AnalyzeCampaign runs two passes over it.
+func TestSourceIsRestartable(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "r0")
+	writeSpool(t, dir, 0, []trace.Sample{mkSample(1, 0), mkSample(2, 0)})
+	src := Source([]string{dir})
+	for pass := 0; pass < 2; pass++ {
+		n := 0
+		if err := src(func(*trace.Sample) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if n != 2 {
+			t.Fatalf("pass %d saw %d samples, want 2", pass, n)
+		}
+	}
+}
