@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-diff bench-multicore check lint smuvet fmt-check bench-smoke fuzz-smoke chaos crash tier-soak external-smoke report experiments experiments-full ingest-smoke ingest-json clean
+.PHONY: all build vet test test-short bench bench-json bench-diff bench-multicore check lint smuvet smuvet-determinism fmt-check bench-smoke fuzz-smoke chaos crash tier-soak external-smoke report experiments experiments-full ingest-smoke ingest-json clean
 
 all: build vet test
 
@@ -79,11 +79,18 @@ fuzz-smoke:
 	done
 	$(GO) test -run '^$$' -fuzz '^FuzzReadWALRecord$$' -fuzztime $(FUZZTIME) ./internal/wal || exit 1
 
-# The repo's own multichecker: determinism, shardmerge, guardedby, closeerr.
-# See DESIGN.md "Static analysis" for what each analyzer enforces and the
-# //smuvet:allow suppression syntax.
+# The repo's own multichecker, eight analyzers: aliasret, closeerr,
+# commitpair, determinism, guardedby, lockorder, poollife, shardmerge. See
+# DESIGN.md "Static analysis" for what each analyzer enforces and the
+# //smuvet:allow suppression syntax (including the stale-allow sweep).
 smuvet:
 	$(GO) run ./cmd/smuvet ./...
+
+# Byte-stability gate for smuvet's machine-readable output: -json and -sarif
+# must produce identical bytes across runs over an identical tree, so CI
+# artifacts can be diffed.
+smuvet-determinism:
+	./scripts/smuvet-determinism.sh
 
 # Third-party linters are version-pinned and fetched on demand, so they only
 # run where the network is available (CI sets LINT_THIRD_PARTY=1); the

@@ -187,9 +187,13 @@ func main() {
 			cancel()
 			<-served
 			if walLog != nil {
-				walLog.Close()
+				if err := walLog.Close(); err != nil {
+					log.Printf("loadgen: wal close: %v", err)
+				}
 			}
-			sp.Close()
+			if err := sp.Close(); err != nil {
+				log.Printf("loadgen: spool close: %v", err)
+			}
 			msrv.Close()
 		}
 		log.Printf("in-process collector on %s (scratch %s, wal=%v fsync=%s), metrics %s",

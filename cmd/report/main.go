@@ -57,7 +57,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
+		defer func() {
+			// The close error is the last chance to learn the report never
+			// reached the disk.
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
 		w = bufio.NewWriter(f)
 	}
 	if err := report.Write(w, st); err != nil {

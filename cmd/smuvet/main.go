@@ -1,14 +1,18 @@
 // Command smuvet is the repo's domain-specific multichecker: it loads the
-// packages named by its arguments (default ./...) and runs the four
-// invariant analyzers — determinism, shardmerge, guardedby, closeerr — over
-// them, printing vet-style file:line:col diagnostics.
+// packages named by its arguments (default ./...) and runs the eight
+// invariant analyzers — aliasret, closeerr, commitpair, determinism,
+// guardedby, lockorder, poollife, shardmerge — over them, printing vet-style
+// file:line:col diagnostics.
 //
 // Usage:
 //
-//	smuvet [-json] [-list] [packages...]
+//	smuvet [-json] [-sarif] [-list] [packages...]
 //
-// Exit status is 0 when the tree is clean, 1 when any diagnostic is
-// reported, and 2 when loading or type-checking fails.
+// -json emits diagnostics keyed by package and analyzer; the encoding sorts
+// every map, so identical trees produce identical bytes (CI diffs two runs).
+// -sarif emits a SARIF 2.1.0 log for code-scanning upload. Exit status is 0
+// when the tree is clean, 1 when any diagnostic is reported, and 2 when
+// loading or type-checking fails.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"smartusage/internal/smuvet"
@@ -23,9 +28,10 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON (per package, per analyzer)")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log")
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: smuvet [-json] [-list] [packages...]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: smuvet [-json] [-sarif] [-list] [packages...]\n\nAnalyzers:\n")
 		for _, a := range smuvet.All() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -38,12 +44,29 @@ func main() {
 		}
 		return
 	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "smuvet: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
+	mode := modeText
+	if *jsonOut {
+		mode = modeJSON
+	}
+	if *sarifOut {
+		mode = modeSARIF
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	os.Exit(run(patterns, *jsonOut))
+	os.Exit(run(patterns, mode))
 }
+
+const (
+	modeText = iota
+	modeJSON
+	modeSARIF
+)
 
 // jsonDiag is one diagnostic in -json output, keyed like `go vet -json`:
 // {"pkgpath": {"analyzer": [{posn, message}]}}.
@@ -52,7 +75,16 @@ type jsonDiag struct {
 	Message string `json:"message"`
 }
 
-func run(patterns []string, jsonOut bool) int {
+// flatDiag is one diagnostic with its position resolved, for SARIF output.
+type flatDiag struct {
+	analyzer string
+	file     string
+	line     int
+	col      int
+	message  string
+}
+
+func run(patterns []string, mode int) int {
 	pkgs, err := smuvet.Load(".", patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -61,6 +93,7 @@ func run(patterns []string, jsonOut bool) int {
 	analyzers := smuvet.All()
 	status := 0
 	byPkg := make(map[string]map[string][]jsonDiag)
+	var flat []flatDiag
 	for _, pkg := range pkgs {
 		if len(pkg.Errors) > 0 {
 			for _, e := range pkg.Errors {
@@ -79,7 +112,8 @@ func run(patterns []string, jsonOut bool) int {
 				status = 1
 			}
 			posn := pkg.Fset.Position(d.Pos)
-			if jsonOut {
+			switch mode {
+			case modeJSON:
 				m := byPkg[pkg.PkgPath]
 				if m == nil {
 					m = make(map[string][]jsonDiag)
@@ -89,28 +123,156 @@ func run(patterns []string, jsonOut bool) int {
 					Posn:    posn.String(),
 					Message: d.Message,
 				})
-			} else {
+			case modeSARIF:
+				flat = append(flat, flatDiag{
+					analyzer: d.Analyzer,
+					file:     relPath(posn.Filename),
+					line:     posn.Line,
+					col:      posn.Column,
+					message:  d.Message,
+				})
+			default:
 				fmt.Printf("%s: %s: %s\n", posn, d.Analyzer, d.Message)
 			}
 		}
 	}
-	if jsonOut {
+	switch mode {
+	case modeJSON:
+		// encoding/json sorts map keys, so this output is byte-stable for
+		// identical trees; CI diffs two runs to prove it.
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "\t")
-		// Deterministic order: marshal a sorted view.
-		paths := make([]string, 0, len(byPkg))
-		for p := range byPkg {
-			paths = append(paths, p)
+		if err := enc.Encode(byPkg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
 		}
-		sort.Strings(paths)
-		out := make(map[string]map[string][]jsonDiag, len(byPkg))
-		for _, p := range paths {
-			out[p] = byPkg[p]
-		}
-		if err := enc.Encode(out); err != nil {
+	case modeSARIF:
+		if err := writeSARIF(os.Stdout, flat); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
 	}
 	return status
+}
+
+// relPath makes file relative to the working directory so SARIF artifact
+// URIs resolve against the repository root wherever the log is consumed.
+func relPath(file string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(wd, file)
+	if err != nil {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// SARIF 2.1.0 output, the subset code-scanning consumers need. Structs
+// rather than nested maps so the field set is visible and stable.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+func writeSARIF(w *os.File, diags []flatDiag) error {
+	rules := make([]sarifRule, 0, len(smuvet.All())+2)
+	for _, a := range smuvet.All() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	// The two pseudo-analyzers diagnose the suppression grammar itself.
+	rules = append(rules,
+		sarifRule{ID: "allow", ShortDescription: sarifText{Text: "malformed //smuvet:allow comment"}},
+		sarifRule{ID: "stale", ShortDescription: sarifText{Text: "//smuvet:allow comment that suppressed no diagnostic in this run"}},
+	)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.analyzer,
+			Level:   "warning",
+			Message: sarifText{Text: d.message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: d.file, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: d.line, StartColumn: d.col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "smuvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(log)
 }

@@ -105,7 +105,9 @@ func main() {
 		for try := 0; try < 50 && a.Pending() > 0; try++ {
 			a.Flush()
 		}
-		a.Close()
+		if err := a.Close(); err != nil {
+			log.Printf("pipeline: agent close: %v", err)
+		}
 		flushErrs += a.Stats().FlushErrs
 		redials += a.Stats().Redials
 	}

@@ -102,6 +102,7 @@ func (sp *RotatingSpool) finishLocked() error {
 	}
 	// A finished segment is a durability boundary (WAL checkpoints build
 	// on it), so it must reach the platter, not just the page cache.
+	//smuvet:allow lockorder -- sealing must be atomic with the segment switch; it runs on the rare rotate/checkpoint path, not per record
 	if err := sp.file.Sync(); err != nil {
 		sp.file.Close() //smuvet:allow closeerr -- sync error is primary; the segment is already lost
 		return fmt.Errorf("collector: sync segment: %w", err)

@@ -1,0 +1,209 @@
+package smuvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AliasRetAnalyzer enforces the zero-copy decode ownership rule from
+// DESIGN.md: the strings produced by trace.DecodeSampleAlias and
+// proto.DecodeBatchAlias alias the frame buffer and die when the next frame
+// is read. A value reached from an alias-decode target may therefore not be
+// stored into anything that outlives the frame — a struct field, a global, a
+// map, a channel, or a slice declared outside the frame loop — unless it was
+// first deep-copied (Sample.Clone, strings.Clone, or any other call, since
+// call results never carry the alias).
+var AliasRetAnalyzer = &Analyzer{
+	Name: "aliasret",
+	Doc: "flag values aliasing a zero-copy decode frame buffer " +
+		"(trace.DecodeSampleAlias / proto.DecodeBatchAlias) stored into " +
+		"memory that outlives the frame without passing through Clone",
+	Run: runAliasRet,
+}
+
+// aliasSources names the alias-decode entry points per defining package
+// basename.
+var aliasSources = map[string]map[string]bool{
+	"trace": {"DecodeSampleAlias": true},
+	"proto": {"DecodeBatchAlias": true},
+}
+
+func runAliasRet(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Functions that are themselves alias decoders (…Alias) hand the
+			// buffer to their caller by contract; the rule applies to their
+			// callers, not their bodies.
+			if strings.HasSuffix(fd.Name.Name, "Alias") {
+				continue
+			}
+			checkAliasRetention(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkAliasRetention(pass *Pass, fd *ast.FuncDecl) {
+	vf := newValueFlow(pass, fd, carriesAlias)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || !aliasSources[pathBase(fn.Pkg().Path())][fn.Name()] {
+			return true
+		}
+		// The decode target arrives by pointer; taint every pointer-shaped
+		// argument (in practice: &sample or &batch).
+		for _, arg := range call.Args {
+			if aliasTargetArg(pass, arg) {
+				vf.seedExpr(arg, call.Pos())
+			}
+		}
+		return true
+	})
+	if len(vf.taint) == 0 {
+		return
+	}
+	vf.propagate()
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				switch {
+				case len(n.Rhs) == len(n.Lhs):
+					rhs = n.Rhs[i]
+				case len(n.Rhs) == 1:
+					rhs = n.Rhs[0]
+				default:
+					continue
+				}
+				if info, ok := vf.infoFor(rhs); ok && exprCarriesAlias(pass, rhs) {
+					checkAliasStore(pass, fd, vf, lhs, info)
+				}
+				// A tainted map *key* retains the alias too: inserting a
+				// string key copies the header, not the bytes.
+				checkAliasMapKey(pass, fd, vf, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkAliasMapKey(pass, fd, vf, n.X)
+		case *ast.SendStmt:
+			if info, ok := vf.infoFor(n.Value); ok && exprCarriesAlias(pass, n.Value) {
+				reportAliasEscape(pass, vf, n.Pos(), info, "sends it on a channel")
+			}
+		}
+		return true
+	})
+}
+
+// aliasTargetArg reports whether arg can be a decode destination: an
+// address-of expression or any pointer-typed value.
+func aliasTargetArg(pass *Pass, arg ast.Expr) bool {
+	if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return true
+	}
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isPtr := tv.Type.Underlying().(*types.Pointer)
+	return isPtr
+}
+
+// carriesAlias reports whether a value of type t can carry a reference into
+// the frame buffer. Numbers, booleans, and other value-only basics cannot;
+// strings, slices, pointers, structs, and everything else conservatively
+// can.
+func carriesAlias(t types.Type) bool {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		return b.Info()&types.IsString != 0 || b.Kind() == types.UnsafePointer
+	}
+	return true
+}
+
+// exprCarriesAlias reports whether e's static type can carry a frame
+// reference: extracting a number out of a tainted struct launders it even
+// though the struct itself stays tainted.
+func exprCarriesAlias(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	return carriesAlias(tv.Type)
+}
+
+func checkAliasStore(pass *Pass, fd *ast.FuncDecl, vf *valueFlow, lhs ast.Expr, info taintInfo) {
+	obj := baseObject(pass, lhs)
+	if obj == nil {
+		return
+	}
+	// The decode target itself is exempt as a destination: resetting or
+	// re-slicing the reused scratch object (batch.Samples = batch.Samples[:0])
+	// is the approved frame-loop pattern.
+	if vf.seeds[obj] {
+		return
+	}
+	if what, outlives := outlivesFrame(fd, obj, info); outlives {
+		reportAliasEscape(pass, vf, lhs.Pos(), info, "stores it into "+what)
+	}
+}
+
+// checkAliasMapKey flags m[k] = v / m[k]++ where k is tainted and m outlives
+// the frame.
+func checkAliasMapKey(pass *Pass, fd *ast.FuncDecl, vf *valueFlow, lhs ast.Expr) {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[ix.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	info, ok := vf.infoFor(ix.Index)
+	if !ok || !exprCarriesAlias(pass, ix.Index) {
+		return
+	}
+	obj := baseObject(pass, ix.X)
+	if obj == nil || vf.seeds[obj] {
+		return
+	}
+	if what, outlives := outlivesFrame(fd, obj, info); outlives {
+		reportAliasEscape(pass, vf, lhs.Pos(), info, "uses it as a key in "+what)
+	}
+}
+
+// outlivesFrame decides whether obj lives longer than the tainted value's
+// frame scope, and names the destination class for the message.
+func outlivesFrame(fd *ast.FuncDecl, obj types.Object, info taintInfo) (string, bool) {
+	switch {
+	case obj.Pos() < fd.Pos() || obj.Pos() >= fd.End():
+		return "package-level " + obj.Name(), true
+	case obj.Pos() < fd.Body.Pos():
+		// Receiver, parameter, or named result: caller-visible memory.
+		return "caller-visible " + obj.Name(), true
+	case info.scope != nil && !(info.scope.Pos() <= obj.Pos() && obj.Pos() < info.scope.End()):
+		return obj.Name() + " (declared outside the frame loop)", true
+	}
+	return "", false
+}
+
+func reportAliasEscape(pass *Pass, vf *valueFlow, pos token.Pos, info taintInfo, how string) {
+	pass.Reportf(pos,
+		"value aliases the zero-copy decode frame buffer (decoded at line %d) and this %s, which outlives the frame: the bytes are overwritten by the next frame — deep-copy via Clone first",
+		pass.Fset.Position(info.src).Line, how)
+}

@@ -6,8 +6,9 @@ import (
 )
 
 // CloseErrAnalyzer protects the exactly-once crash-recovery guarantee (PR 3):
-// in the durability packages (wal, agent, collector, trace), the error from
-// Close or Sync on a writable file-like value must be checked. A dropped
+// in the durability packages (wal, agent, collector, trace) and the command
+// binaries (package main), the error from Close or Sync on a writable
+// file-like value must be checked. A dropped
 // close error there means data the caller believes durable may not be — the
 // class of bug the kill-restart soak can only catch when the crash timing
 // cooperates.
@@ -21,17 +22,23 @@ import (
 var CloseErrAnalyzer = &Analyzer{
 	Name: "closeerr",
 	Doc: "require Close/Sync errors on writable files in wal, agent, " +
-		"collector, and trace to be checked",
+		"collector, trace, and the command binaries to be checked",
 	Run: runCloseErr,
 }
 
-// closeErrPackages are the durability packages under the rule.
+// closeErrPackages are the durability packages under the rule. Command
+// binaries (package main) are additionally covered: they own the outermost
+// file handles (WAL dirs, spool journals, trace outputs) whose close errors
+// are the last chance to report lost data before exit.
 var closeErrPackages = map[string]bool{
 	"wal": true, "agent": true, "collector": true, "trace": true,
 }
 
 func runCloseErr(pass *Pass) error {
-	if pass.Pkg == nil || !closeErrPackages[pathBase(pass.Pkg.Path())] {
+	if pass.Pkg == nil {
+		return nil
+	}
+	if !closeErrPackages[pathBase(pass.Pkg.Path())] && pass.Pkg.Name() != "main" {
 		return nil
 	}
 	for _, file := range pass.Files {

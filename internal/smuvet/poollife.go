@@ -1,0 +1,339 @@
+package smuvet
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// PoolLifeAnalyzer enforces the pooled-memory lifetime rule from DESIGN.md:
+// a slice obtained from mempool.SlicePool.Get/Grow or a mempool.Arena may
+// not be read, written, or appended to after the corresponding Put/Release —
+// the pool may hand the backing array to another goroutine at any moment.
+// analysis.Shards values obey the same rule around Shards.Release, which
+// invalidates every sample streamed out of the shard engine.
+//
+// The check is lexical within one function: a release followed (in source
+// order) by a use of the same value, with no reassignment of that exact
+// value in between, is flagged. Reassignment (x = pool.Get(...), p.samples =
+// nil) revives the name; a release inside a defer runs at return and kills
+// nothing mid-body.
+var PoolLifeAnalyzer = &Analyzer{
+	Name: "poollife",
+	Doc: "flag uses of pooled slices (mempool.SlicePool, mempool.Arena) and " +
+		"analysis.Shards values after the Put/Release that returned their " +
+		"backing memory to the pool",
+	Run: runPoolLife,
+}
+
+func runPoolLife(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolLife(pass, fd)
+		}
+	}
+	return nil
+}
+
+// poolKill is one lexical release event.
+type poolKill struct {
+	pos    token.Pos // end of the releasing call: the call's own args are live
+	member string
+	what   string
+}
+
+// poolResur is one lexical reassignment of a member name, effective at the
+// end of its statement.
+type poolResur struct {
+	pos    token.Pos
+	member string
+}
+
+// poolState is the per-function lexical model: a union-find over the source
+// strings of pooled values (aliases share a group), plus release and
+// reassignment events.
+type poolState struct {
+	pass   *Pass
+	parent map[string]string
+	kills  []poolKill
+	resur  []poolResur
+	writes map[token.Pos]bool // exact-member write targets; not uses
+}
+
+func (ps *poolState) add(s string) {
+	if _, ok := ps.parent[s]; !ok {
+		ps.parent[s] = s
+	}
+}
+
+func (ps *poolState) find(s string) string {
+	for ps.parent[s] != "" && ps.parent[s] != s {
+		s = ps.parent[s]
+	}
+	return s
+}
+
+func (ps *poolState) union(a, b string) bool {
+	ps.add(a)
+	ps.add(b)
+	ra, rb := ps.find(a), ps.find(b)
+	if ra == rb {
+		return false
+	}
+	ps.parent[ra] = rb
+	return true
+}
+
+// arenaMember is the synthetic group member standing for "every slice this
+// arena handed out". Arena receivers themselves stay usable after Release
+// (the arena is reusable); only the handed-out slices die.
+func arenaMember(base string) string {
+	return "arena(" + base + ")"
+}
+
+// renderable reports whether exprString produced real source text rather
+// than an opaque position tag.
+func renderable(s string) bool {
+	return !strings.Contains(s, "<expr@")
+}
+
+func checkPoolLife(pass *Pass, fd *ast.FuncDecl) {
+	ps := &poolState{pass: pass, parent: make(map[string]string), writes: make(map[token.Pos]bool)}
+	defers := deferRanges(fd)
+
+	// Discover members, groups, and kills. Alias chains (y := x; z := y)
+	// need a fixpoint because the walk meets statements in source order but
+	// membership is order-independent.
+	for range 16 {
+		if !ps.collect(fd, defers) {
+			break
+		}
+	}
+	if len(ps.kills) == 0 {
+		return
+	}
+
+	// Reassignments of exact member names revive them; their LHS
+	// occurrences are writes, not uses.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			s := exprString(lhs)
+			if _, isMember := ps.parent[s]; isMember {
+				ps.writes[lhs.Pos()] = true
+				ps.resur = append(ps.resur, poolResur{pos: as.End(), member: s})
+			}
+		}
+		return true
+	})
+
+	members := make([]string, 0, len(ps.parent))
+	for m := range ps.parent {
+		members = append(members, m)
+	}
+	sort.Strings(members)
+
+	// Flag uses: walk maximal ident/selector/index chains; a chain at or
+	// below a member whose group was released before it, with no
+	// reassignment of that member in between, is a use-after-release.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr:
+		default:
+			return true
+		}
+		e := n.(ast.Expr)
+		s := exprString(e)
+		if !renderable(s) {
+			return true
+		}
+		m := matchPoolMember(members, s)
+		if m == "" {
+			return true // inner parts may still match; keep descending
+		}
+		if ps.writes[n.Pos()] {
+			return false
+		}
+		if k, killed := ps.killedAt(m, n.Pos()); killed {
+			pass.Reportf(n.Pos(),
+				"%s is used after %s (line %d) returned its backing memory to the pool: the slab may already be reused — move the use before the release or re-acquire",
+				s, k.what, pass.Fset.Position(k.pos).Line)
+		}
+		return false
+	})
+}
+
+// collect performs one discovery pass; it reports whether membership grew
+// (alias chains like y := x; z := y need another pass).
+func (ps *poolState) collect(fd *ast.FuncDecl, defers [][2]token.Pos) bool {
+	before := len(ps.parent)
+	ps.kills = ps.kills[:0]
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				switch {
+				case len(n.Rhs) == len(n.Lhs):
+					rhs = n.Rhs[i]
+				case len(n.Rhs) == 1:
+					rhs = n.Rhs[0]
+				default:
+					continue
+				}
+				ls := exprString(lhs)
+				if !renderable(ls) || ls == "_" {
+					continue
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					switch kind, recvBase := poolCallKind(ps.pass, call); kind {
+					case "Get", "Grow":
+						ps.add(ls)
+					case "Append":
+						ps.union(ls, arenaMember(recvBase))
+					}
+					continue
+				}
+				// Plain alias: y := x (possibly resliced) joins x's group.
+				rs := exprString(stripSlices(rhs))
+				if _, ok := ps.parent[rs]; ok {
+					ps.union(ls, rs)
+				}
+			}
+		case *ast.CallExpr:
+			kind, recvBase := poolCallKind(ps.pass, n)
+			if kind == "" || inRanges(defers, n.Pos()) {
+				return true
+			}
+			switch kind {
+			case "Put":
+				if len(n.Args) == 1 {
+					if s := exprString(stripSlices(n.Args[0])); renderable(s) {
+						ps.add(s)
+						ps.kills = append(ps.kills, poolKill{pos: n.End(), member: s, what: "Put"})
+					}
+				}
+			case "Grow":
+				// Grow returns a (possibly new) slab and releases the old
+				// one: the argument dies exactly like a Put.
+				if len(n.Args) >= 1 {
+					if s := exprString(stripSlices(n.Args[0])); renderable(s) {
+						ps.add(s)
+						ps.kills = append(ps.kills, poolKill{pos: n.End(), member: s, what: "Grow"})
+					}
+				}
+			case "ArenaRelease":
+				ps.add(arenaMember(recvBase))
+				ps.kills = append(ps.kills, poolKill{pos: n.End(), member: arenaMember(recvBase), what: "Arena.Release"})
+			case "ShardsRelease":
+				if renderable(recvBase) {
+					ps.add(recvBase)
+					ps.kills = append(ps.kills, poolKill{pos: n.End(), member: recvBase, what: "Shards.Release"})
+				}
+			}
+		}
+		return true
+	})
+	return len(ps.parent) != before
+}
+
+// poolCallKind classifies a call against the pooled-memory API:
+// "Get"/"Grow"/"Put" on mempool.SlicePool, "Append"/"ArenaRelease" on
+// mempool.Arena, "ShardsRelease" on analysis.Shards. The second result is
+// the receiver expression's source text (for arena grouping).
+func poolCallKind(pass *Pass, call *ast.CallExpr) (kind, recvBase string) {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return "", ""
+	}
+	pkgBase, typeName := recvNamed(fn)
+	sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if sel != nil {
+		recvBase = exprString(sel.X)
+	}
+	switch {
+	case pkgBase == "mempool" && typeName == "SlicePool":
+		switch fn.Name() {
+		case "Get", "Grow", "Put":
+			return fn.Name(), recvBase
+		}
+	case pkgBase == "mempool" && typeName == "Arena":
+		switch fn.Name() {
+		case "Append":
+			return "Append", recvBase
+		case "Release":
+			return "ArenaRelease", recvBase
+		}
+	case pkgBase == "analysis" && typeName == "Shards" && fn.Name() == "Release":
+		return "ShardsRelease", recvBase
+	}
+	return "", ""
+}
+
+// stripSlices unwraps reslicing and parens: p.samples[:0] aliases p.samples.
+func stripSlices(e ast.Expr) ast.Expr {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		default:
+			return e
+		}
+	}
+}
+
+// matchPoolMember returns the longest member m such that s is m itself or an
+// access under it (m.f, m[i]).
+func matchPoolMember(members []string, s string) string {
+	best := ""
+	for _, m := range members {
+		if strings.HasPrefix(m, "arena(") {
+			continue
+		}
+		if s == m || (strings.HasPrefix(s, m) && len(s) > len(m) && (s[len(m)] == '.' || s[len(m)] == '[')) {
+			if len(m) > len(best) {
+				best = m
+			}
+		}
+	}
+	return best
+}
+
+// killedAt reports whether member m's group has a release lexically before
+// pos that no reassignment of m revives.
+func (ps *poolState) killedAt(m string, pos token.Pos) (poolKill, bool) {
+	root := ps.find(m)
+	var hit poolKill
+	found := false
+	for _, k := range ps.kills {
+		if k.pos >= pos || ps.find(k.member) != root {
+			continue
+		}
+		revived := false
+		for _, r := range ps.resur {
+			// >= : a release inside the reassignment's own RHS (x =
+			// pool.Grow(x, n)) revives x in the same statement.
+			if r.member == m && r.pos >= k.pos && r.pos <= pos {
+				revived = true
+				break
+			}
+		}
+		if !revived && (!found || k.pos < hit.pos) {
+			hit, found = k, true
+		}
+	}
+	return hit, found
+}

@@ -1,16 +1,28 @@
 // Package smuvet is the repo's domain-specific static-analysis framework: a
 // small, dependency-free mirror of the golang.org/x/tools/go/analysis API
-// (which this module cannot vendor) plus the four analyzers that turn the
+// (which this module cannot vendor) plus the analyzers that turn the
 // codebase's soak-tested invariants into compile-time gates:
 //
+//   - aliasret: values aliasing a zero-copy decode frame buffer must not be
+//     stored into memory that outlives the frame without a Clone.
+//   - closeerr: Close/Sync results on writable files in the durability
+//     packages (wal, agent, collector, trace) and the command binaries must
+//     be checked.
+//   - commitpair: every wal.Log.AppendAsync commit token must reach
+//     Commit/Barrier (or the caller) on all paths.
 //   - determinism: no wall clock, global math/rand, or map-iteration-order
 //     dependent output inside the simulation and analysis packages.
-//   - shardmerge: every Analyzer implementation must be a ShardedAnalyzer
-//     and appear in the parallel-equivalence test table.
 //   - guardedby: struct fields annotated `// guarded by mu` may only be
 //     accessed where the mutex is visibly held.
-//   - closeerr: Close/Sync results on writable files in the durability
-//     packages (wal, agent, collector, trace) must be checked.
+//   - lockorder: no mutex acquisition cycles, no lock held across an
+//     fsync-waiting call.
+//   - poollife: pooled slices (mempool, analysis.Shards) must not be used
+//     after Put/Release.
+//   - shardmerge: every Analyzer implementation must be a ShardedAnalyzer
+//     and appear in the parallel-equivalence test table.
+//
+// The ownership/lifetime analyzers (aliasret, poollife, commitpair) share
+// the intraprocedural dataflow engine in dataflow.go.
 //
 // A finding can be suppressed at a specific site with
 //
@@ -18,7 +30,9 @@
 //
 // on the flagged line, the line above it, or in the enclosing function's doc
 // comment. The reason is mandatory; a malformed allow comment is itself a
-// diagnostic.
+// diagnostic (pseudo-analyzer "allow"), and an allow that suppresses zero
+// diagnostics in a run is reported as stale (pseudo-analyzer "stale"; list
+// "stale" among its analyzers to keep a deliberately dormant allow).
 package smuvet
 
 import (
@@ -78,13 +92,18 @@ type Diagnostic struct {
 	Message  string
 }
 
-// All returns the full analyzer suite in a fixed order.
+// All returns the full analyzer suite sorted by name, so -list/-help output
+// and diagnostic ordering are stable.
 func All() []*Analyzer {
 	return []*Analyzer{
-		DeterminismAnalyzer,
-		ShardMergeAnalyzer,
-		GuardedByAnalyzer,
+		AliasRetAnalyzer,
 		CloseErrAnalyzer,
+		CommitPairAnalyzer,
+		DeterminismAnalyzer,
+		GuardedByAnalyzer,
+		LockOrderAnalyzer,
+		PoolLifeAnalyzer,
+		ShardMergeAnalyzer,
 	}
 }
 
@@ -94,24 +113,32 @@ var allowRe = regexp.MustCompile(`^//smuvet:allow\s+([a-z][a-z0-9]*(?:\s*,\s*[a-
 // allowPrefix is how every suppression attempt starts, well-formed or not.
 const allowPrefix = "//smuvet:allow"
 
+// allowEntry is one //smuvet:allow comment. Line entries cover their own
+// line and the line below; entries lifted from a function doc comment
+// additionally cover the whole body. used tracks whether the entry
+// suppressed anything, for stale detection.
+type allowEntry struct {
+	pos              token.Pos
+	file             string
+	line             int
+	names            map[string]bool
+	funcPos, funcEnd token.Pos // non-zero when the comment is a func doc
+	used             bool
+}
+
 // allowIndex resolves suppression comments for one package.
 type allowIndex struct {
-	fset *token.FileSet
-	// byLine maps file -> line -> analyzer names allowed on that line.
-	byLine map[string]map[int]map[string]bool
-	// funcs maps a function body range to the analyzers its doc allows.
-	funcs []funcAllow
+	fset    *token.FileSet
+	entries []*allowEntry
+	// byLine maps file -> line -> the entries written on that line.
+	byLine map[string]map[int][]*allowEntry
 	// malformed records allow comments missing the `-- reason` part.
 	malformed []token.Pos
 }
 
-type funcAllow struct {
-	pos, end token.Pos
-	names    map[string]bool
-}
-
 func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
-	ai := &allowIndex{fset: fset, byLine: make(map[string]map[int]map[string]bool)}
+	ai := &allowIndex{fset: fset, byLine: make(map[string]map[int][]*allowEntry)}
+	byPos := make(map[token.Pos]*allowEntry)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -124,19 +151,15 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				e := &allowEntry{pos: c.Pos(), file: pos.Filename, line: pos.Line, names: names}
+				ai.entries = append(ai.entries, e)
+				byPos[c.Pos()] = e
 				lines := ai.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
+					lines = make(map[int][]*allowEntry)
 					ai.byLine[pos.Filename] = lines
 				}
-				set := lines[pos.Line]
-				if set == nil {
-					set = make(map[string]bool)
-					lines[pos.Line] = set
-				}
-				for n := range names {
-					set[n] = true
-				}
+				lines[pos.Line] = append(lines[pos.Line], e)
 			}
 		}
 		for _, decl := range f.Decls {
@@ -144,16 +167,10 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
 			if !ok || fd.Doc == nil || fd.Body == nil {
 				continue
 			}
-			names := make(map[string]bool)
 			for _, c := range fd.Doc.List {
-				if ns, ok := parseAllow(c.Text); ok {
-					for n := range ns {
-						names[n] = true
-					}
+				if e := byPos[c.Pos()]; e != nil {
+					e.funcPos, e.funcEnd = fd.Body.Pos(), fd.Body.End()
 				}
-			}
-			if len(names) > 0 {
-				ai.funcs = append(ai.funcs, funcAllow{pos: fd.Body.Pos(), end: fd.Body.End(), names: names})
 			}
 		}
 	}
@@ -179,20 +196,58 @@ func parseAllow(text string) (map[string]bool, bool) {
 	return names, true
 }
 
-// suppressed reports whether d is covered by an allow comment.
+// suppressed reports whether d is covered by an allow comment, marking
+// every entry that covers it as used.
 func (ai *allowIndex) suppressed(d Diagnostic) bool {
+	hit := false
 	pos := ai.fset.Position(d.Pos)
 	if lines := ai.byLine[pos.Filename]; lines != nil {
-		if lines[pos.Line][d.Analyzer] || lines[pos.Line-1][d.Analyzer] {
-			return true
+		for _, line := range []int{pos.Line, pos.Line - 1} {
+			for _, e := range lines[line] {
+				if e.names[d.Analyzer] {
+					e.used = true
+					hit = true
+				}
+			}
 		}
 	}
-	for _, fa := range ai.funcs {
-		if fa.names[d.Analyzer] && fa.pos <= d.Pos && d.Pos < fa.end {
-			return true
+	for _, e := range ai.entries {
+		if e.funcEnd != 0 && e.names[d.Analyzer] && e.funcPos <= d.Pos && d.Pos < e.funcEnd {
+			e.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// staleDiagnostics reports allow entries that suppressed nothing. An entry
+// is judged only when every analyzer it names actually ran (so a partial
+// -run invocation can't call a live allow stale); naming "stale" among the
+// analyzers keeps a deliberately dormant allow.
+func (ai *allowIndex) staleDiagnostics(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range ai.entries {
+		if e.used || e.names["stale"] || len(e.names) == 0 {
+			continue
+		}
+		judgeable := true
+		for n := range e.names {
+			if !ran[n] {
+				judgeable = false
+				break
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      e.pos,
+			Analyzer: "stale",
+			Message: "stale smuvet:allow: it suppressed no diagnostic in this run — delete it, " +
+				"or add 'stale' to its analyzer list if it guards a known-dormant case",
+		})
+	}
+	return out
 }
 
 // RunAnalyzers applies analyzers to pkg, filters findings through the
@@ -229,6 +284,17 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Analyzer: "allow",
 			Message:  "malformed smuvet:allow comment: want //smuvet:allow <analyzer>[,<analyzer>] -- <reason>",
 		})
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, d := range ai.staleDiagnostics(ran) {
+		// A stale report is itself suppressible (//smuvet:allow stale on or
+		// above the comment's line).
+		if !ai.suppressed(d) {
+			kept = append(kept, d)
+		}
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		pi, pj := pkg.Fset.Position(kept[i].Pos), pkg.Fset.Position(kept[j].Pos)
@@ -283,6 +349,8 @@ func exprString(e ast.Expr) string {
 		return exprString(e.X)
 	case *ast.IndexExpr:
 		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.BasicLit:
+		return e.Value
 	default:
 		return fmt.Sprintf("<expr@%d>", e.Pos())
 	}

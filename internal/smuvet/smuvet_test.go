@@ -26,6 +26,29 @@ func TestCloseErr(t *testing.T) {
 	smuvettest.Run(t, ".", []*smuvet.Analyzer{smuvet.CloseErrAnalyzer}, "./testdata/src/wal")
 }
 
+func TestAliasRet(t *testing.T) {
+	smuvettest.Run(t, ".", []*smuvet.Analyzer{smuvet.AliasRetAnalyzer}, "./testdata/src/zerocopy")
+}
+
+func TestPoolLife(t *testing.T) {
+	smuvettest.Run(t, ".", []*smuvet.Analyzer{smuvet.PoolLifeAnalyzer}, "./testdata/src/pooled")
+}
+
+func TestCommitPair(t *testing.T) {
+	smuvettest.Run(t, ".", []*smuvet.Analyzer{smuvet.CommitPairAnalyzer}, "./testdata/src/commit")
+}
+
+func TestLockOrder(t *testing.T) {
+	smuvettest.Run(t, ".", []*smuvet.Analyzer{smuvet.LockOrderAnalyzer}, "./testdata/src/collector")
+}
+
+// TestStaleAllow exercises the stale-allow sweep: it rides along with any
+// analyzer run, so running determinism alone is enough to judge allows that
+// name only determinism.
+func TestStaleAllow(t *testing.T) {
+	smuvettest.Run(t, ".", []*smuvet.Analyzer{smuvet.DeterminismAnalyzer}, "./testdata/src/macro")
+}
+
 // TestAllAnalyzers runs the full suite over every fixture at once: the scope
 // rules must keep each analyzer silent outside its own fixture, so the same
 // want set still matches exactly.
@@ -35,5 +58,10 @@ func TestAllAnalyzers(t *testing.T) {
 		"./testdata/src/analysis",
 		"./testdata/src/guarded",
 		"./testdata/src/wal",
+		"./testdata/src/zerocopy",
+		"./testdata/src/pooled",
+		"./testdata/src/commit",
+		"./testdata/src/collector",
+		"./testdata/src/macro",
 	)
 }

@@ -1,0 +1,34 @@
+// Package macro is a smuvet fixture for stale-allow detection: its basename
+// puts it in the determinism scope, so allows naming determinism are judged
+// whenever that analyzer runs. It is compiled only by the analyzer tests.
+package macro
+
+import "time"
+
+// Suppressed has a live allow: it suppresses a real diagnostic, so it is
+// never stale.
+func Suppressed() time.Time {
+	return time.Now() //smuvet:allow determinism -- fixture: the wall clock is the point here
+}
+
+// Stale carries an allow that no longer suppresses anything: the violation
+// it once excused has moved away.
+func Stale() time.Time {
+	//smuvet:allow determinism -- fixture: nothing here draws from the clock anymore; want `stale smuvet:allow: it suppressed no diagnostic in this run`
+	return time.Unix(0, 0)
+}
+
+// Dormant declares its allow intentionally dormant via the stale escape
+// hatch: naming stale in the analyzer list opts out of the sweep.
+func Dormant() time.Time {
+	//smuvet:allow determinism,stale -- fixture: guards a generated path that is sometimes clean
+	return time.Unix(1, 0)
+}
+
+// Acknowledged keeps a dormant allow but suppresses the stale report itself
+// with an allow on the line above.
+func Acknowledged() time.Time {
+	//smuvet:allow stale -- fixture: the determinism allow below is kept on purpose
+	//smuvet:allow determinism -- fixture: dormant by design
+	return time.Unix(2, 0)
+}

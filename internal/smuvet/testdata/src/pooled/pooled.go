@@ -1,0 +1,83 @@
+// Package pooled is a smuvet poollife fixture: slices from
+// mempool.SlicePool/Arena and analysis.Shards values must not be used after
+// the Put/Release that returned their backing memory. It is compiled only by
+// the analyzer tests.
+package pooled
+
+import (
+	"smartusage/internal/analysis"
+	"smartusage/internal/mempool"
+)
+
+// UseAfterPut writes into a slab after handing it back.
+func UseAfterPut(pool *mempool.SlicePool[byte]) byte {
+	buf := pool.Get(64)
+	buf[0] = 1
+	pool.Put(buf)
+	return buf[0] // want `buf\[0\] is used after Put \(line \d+\)`
+}
+
+// AliasAfterPut reads through an alias of the released slab; the alias dies
+// with the original.
+func AliasAfterPut(pool *mempool.SlicePool[byte]) byte {
+	b := pool.Get(8)
+	c := b[:4]
+	pool.Put(b)
+	return c[0] // want `c\[0\] is used after Put \(line \d+\)`
+}
+
+// UseAfterGrow keeps an alias of the pre-Grow slab: Grow releases the old
+// backing array exactly like a Put.
+func UseAfterGrow(pool *mempool.SlicePool[byte]) byte {
+	buf := pool.Get(4)
+	old := buf
+	buf = pool.Grow(buf, 16)
+	buf[0] = 2    // fine: the reassignment revived buf with the new slab
+	return old[0] // want `old\[0\] is used after Grow \(line \d+\)`
+}
+
+// SpanAfterRelease reads an arena-owned span after the arena released every
+// slab it handed out. The arena value itself stays reusable.
+func SpanAfterRelease(pool *mempool.SlicePool[byte], src []byte) byte {
+	a := mempool.NewArena(pool)
+	span := a.Append(src)
+	a.Release()
+	more := a.Append(src) // fine: the arena is reusable after Release
+	_ = more
+	return span[0] // want `span\[0\] is used after Arena\.Release \(line \d+\)`
+}
+
+// ShardsAfterRelease touches a shard engine after Release invalidated every
+// sample it streamed out.
+func ShardsAfterRelease(sh *analysis.Shards) int {
+	sh.Release()
+	return sh.Len() // want `sh\.Len is used after Shards\.Release \(line \d+\)`
+}
+
+// UseBeforePut is the approved order: every use precedes the release, and
+// the releasing call's own argument does not count as a use.
+func UseBeforePut(pool *mempool.SlicePool[byte]) byte {
+	buf := pool.Get(64)
+	buf[0] = 1
+	v := buf[0]
+	pool.Put(buf)
+	return v
+}
+
+// DeferredPut releases at return: mid-body uses stay legal.
+func DeferredPut(pool *mempool.SlicePool[byte]) byte {
+	buf := pool.Get(64)
+	defer pool.Put(buf)
+	buf[0] = 3
+	return buf[0]
+}
+
+// Reacquire puts a slab back and rebinds the name to a fresh one: the
+// reassignment revives the name.
+func Reacquire(pool *mempool.SlicePool[byte]) byte {
+	buf := pool.Get(8)
+	pool.Put(buf)
+	buf = pool.Get(16)
+	buf[0] = 4
+	return buf[0]
+}

@@ -1,0 +1,168 @@
+// Package zerocopy is a smuvet aliasret fixture: values decoded through the
+// zero-copy alias decoders must not outlive the frame loop without a Clone.
+// It is compiled only by the analyzer tests.
+package zerocopy
+
+import (
+	"smartusage/internal/proto"
+	"smartusage/internal/trace"
+)
+
+// RetainMapKey is the PR 7 bug shape: an ESSID aliasing the frame buffer is
+// inserted as a map key, which copies the string header but not the bytes.
+func RetainMapKey(frames [][]byte) map[string]int {
+	seen := make(map[string]int)
+	var s trace.Sample
+	for _, frame := range frames {
+		if _, err := trace.DecodeSampleAlias(frame, &s); err != nil {
+			continue
+		}
+		for _, ap := range s.APs {
+			seen[ap.ESSID]++ // want `uses it as a key in seen`
+		}
+	}
+	return seen
+}
+
+// RetainSlice appends a frame-aliasing string to a slice declared outside
+// the frame loop.
+func RetainSlice(frames [][]byte) []string {
+	var essids []string
+	var s trace.Sample
+	for _, frame := range frames {
+		if _, err := trace.DecodeSampleAlias(frame, &s); err != nil {
+			continue
+		}
+		for _, ap := range s.APs {
+			essids = append(essids, ap.ESSID) // want `stores it into essids \(declared outside the frame loop\)`
+		}
+	}
+	return essids
+}
+
+// cache is package-level: anything stored here outlives every frame.
+var cache trace.Sample
+
+// RetainGlobal copies the whole aliasing sample into a package-level
+// variable; the struct copy carries the string and slice headers with it.
+func RetainGlobal(frame []byte) error {
+	var s trace.Sample
+	if _, err := trace.DecodeSampleAlias(frame, &s); err != nil {
+		return err
+	}
+	cache = s // want `stores it into package-level cache`
+	return nil
+}
+
+// Tracker retains the last ESSID per device.
+type Tracker struct {
+	last string
+}
+
+// RetainField stores a frame-aliasing string into receiver memory, which the
+// caller keeps across frames.
+func (t *Tracker) RetainField(frame []byte) error {
+	var s trace.Sample
+	if _, err := trace.DecodeSampleAlias(frame, &s); err != nil {
+		return err
+	}
+	if ap := s.AssociatedAP(); ap != nil {
+		t.last = s.APs[0].ESSID // want `stores it into caller-visible t`
+	}
+	return nil
+}
+
+// RetainChannel sends a frame-aliasing value to another goroutine, which may
+// read it after the next frame overwrote the bytes.
+func RetainChannel(frames [][]byte, out chan<- string) {
+	var b proto.Batch
+	for _, frame := range frames {
+		if err := proto.DecodeBatchAlias(frame, &b); err != nil {
+			continue
+		}
+		for i := range b.Samples {
+			for _, ap := range b.Samples[i].APs {
+				out <- ap.ESSID // want `sends it on a channel`
+			}
+		}
+	}
+}
+
+// CloneFirst launders the sample through Clone before retaining it: call
+// results never carry the alias.
+func CloneFirst(frames [][]byte) []*trace.Sample {
+	var keep []*trace.Sample
+	var s trace.Sample
+	for _, frame := range frames {
+		if _, err := trace.DecodeSampleAlias(frame, &s); err != nil {
+			continue
+		}
+		keep = append(keep, s.Clone())
+	}
+	return keep
+}
+
+// AppendBytes copies the ESSID bytes via an ellipsis append: expanding a
+// string into a []byte copies elements, so nothing aliases the frame.
+func AppendBytes(frames [][]byte) []byte {
+	var buf []byte
+	var s trace.Sample
+	for _, frame := range frames {
+		if _, err := trace.DecodeSampleAlias(frame, &s); err != nil {
+			continue
+		}
+		for _, ap := range s.APs {
+			buf = append(buf, ap.ESSID...)
+		}
+	}
+	return buf
+}
+
+// FrameLocal keeps every aliasing value inside the frame iteration; counting
+// numbers out of the sample is always fine (numbers cannot alias).
+func FrameLocal(frames [][]byte) (rx uint64) {
+	var s trace.Sample
+	for _, frame := range frames {
+		if _, err := trace.DecodeSampleAlias(frame, &s); err != nil {
+			continue
+		}
+		essid := ""
+		if ap := s.AssociatedAP(); ap != nil {
+			essid = ap.ESSID
+		}
+		if essid != "" {
+			rx += s.WiFiRX
+		}
+	}
+	return rx
+}
+
+// ReuseTarget resets the decode target between frames: the seed object is an
+// approved long-lived scratch destination.
+func ReuseTarget(frames [][]byte) int {
+	n := 0
+	var b proto.Batch
+	for _, frame := range frames {
+		b.Samples = b.Samples[:0]
+		if err := proto.DecodeBatchAlias(frame, &b); err != nil {
+			continue
+		}
+		n += len(b.Samples)
+	}
+	return n
+}
+
+// debugLast is package-level scratch for the allowed retention below.
+var debugLast string
+
+// AllowedRetention documents a deliberate retention with the escape hatch.
+func AllowedRetention(frame []byte) error {
+	var s trace.Sample
+	if _, err := trace.DecodeSampleAlias(frame, &s); err != nil {
+		return err
+	}
+	if len(s.APs) > 0 {
+		debugLast = s.APs[0].ESSID //smuvet:allow aliasret -- fixture: overwritten-next-frame debug breadcrumb is acceptable
+	}
+	return nil
+}

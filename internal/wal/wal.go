@@ -629,6 +629,7 @@ func (l *Log) syncLocked() error {
 	if l.durableSeq >= l.writeSeq {
 		return nil
 	}
+	//smuvet:allow lockorder -- seal/Sync/interval path: callers asked for a synchronous barrier, so the lock stays held; the per-record path goes through commitLocked, which releases l.mu around the fsync
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
