@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json bench-diff bench-multicore check lint smuvet smuvet-determinism fmt-check bench-smoke fuzz-smoke chaos crash tier-soak external-smoke report experiments experiments-full ingest-smoke ingest-json clean
+.PHONY: all build vet test test-short bench bench-json bench-diff bench-multicore check lint smuvet smuvet-determinism fmt-check bench-smoke fuzz-smoke chaos crash tier-soak soak-1m external-smoke report experiments experiments-full ingest-smoke ingest-json clean
 
 all: build vet test
 
@@ -35,7 +35,7 @@ bench-smoke:
 # away. One iteration is smoke-grade — it anchors allocation counts exactly
 # but ns/op only roughly; use `make bench` on a quiet machine for real
 # timings.
-BENCH_JSON ?= BENCH_7.json
+BENCH_JSON ?= BENCH_8.json
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
@@ -78,6 +78,9 @@ fuzz-smoke:
 		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/proto || exit 1; \
 	done
 	$(GO) test -run '^$$' -fuzz '^FuzzReadWALRecord$$' -fuzztime $(FUZZTIME) ./internal/wal || exit 1
+	for t in FuzzSketchDecode FuzzHLLDecode; do \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/sketch || exit 1; \
+	done
 
 # The repo's own multichecker, eight analyzers: aliasret, closeerr,
 # commitpair, determinism, guardedby, lockorder, poollife, shardmerge. See
@@ -121,6 +124,16 @@ crash:
 # conservation is asserted against a fault-free baseline, under -race.
 tier-soak:
 	$(GO) test -race -run TestTierFailoverSoak -count=1 ./internal/faultnet
+
+# Bounded-memory scale proof: stream SOAK_DEVICES devices (a million by
+# default here) through the sketch battery under a MemStats watchdog. The
+# test asserts the peak heap stays under a per-device ceiling AND that the
+# exact path's accumulator lower bound would have blown through it. Set
+# SOAK_MEMSTATS_OUT to keep the measurements as a JSON artifact.
+SOAK_DEVICES ?= 1000000
+soak-1m:
+	SOAK_DEVICES=$(SOAK_DEVICES) SOAK_MEMSTATS_OUT=$(SOAK_MEMSTATS_OUT) \
+		$(GO) test -run '^TestSketchSoak$$' -count=1 -v -timeout 30m ./internal/analysis
 
 # External tier smoke: three real collectd processes on loopback driven by
 # loadgen over the wire protocol, SIGTERM-drained, and tiermerged — covers

@@ -268,6 +268,7 @@ func main() {
 		exp        = flag.String("exp", "", "experiment id (or 'list')")
 		workers    = flag.Int("workers", 0, "simulation workers (0 = sequential, -1 = all cores)")
 		anaWorkers = flag.Int("analysis-workers", 0, "analysis workers (0 = sequential, -1 = all cores)")
+		sketchMode = flag.Bool("sketch", false, "bounded-memory sketch analyzers (~1% quantile error)")
 	)
 	flag.Parse()
 
@@ -291,6 +292,7 @@ func main() {
 		run, err = core.RunCampaign(*year, core.Options{
 			Scale: *scale, Seed: *seed,
 			Workers: *workers, AnalysisWorkers: *anaWorkers,
+			SketchMode: *sketchMode,
 		})
 	} else {
 		var cfg config.Campaign
@@ -298,9 +300,9 @@ func main() {
 		if err == nil {
 			src := analysis.FileSource(*tracePath)
 			if *anaWorkers != 0 {
-				run, err = core.AnalyzeCampaignParallel(cfg, nil, src, *anaWorkers)
+				run, err = core.AnalyzeCampaignParallel(cfg, nil, src, core.Options{AnalysisWorkers: *anaWorkers, SketchMode: *sketchMode})
 			} else {
-				run, err = core.AnalyzeCampaign(cfg, nil, src)
+				run, err = core.AnalyzeCampaign(cfg, nil, src, core.Options{SketchMode: *sketchMode})
 			}
 		}
 	}

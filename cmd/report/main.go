@@ -28,6 +28,7 @@ func main() {
 		traceDir   = flag.String("tracedir", "", "spool traces to this directory instead of memory")
 		workers    = flag.Int("workers", 0, "simulation workers (0 = sequential, -1 = all cores)")
 		anaWorkers = flag.Int("analysis-workers", 0, "analysis workers (0 = sequential, -1 = all cores)")
+		sketchMode = flag.Bool("sketch", false, "bounded-memory sketch analyzers (~1% quantile error)")
 		traceOut   = flag.String("trace-out", "", "write per-stage spans (simulate, prepass, shards, merges) as Chrome trace JSONL to this file")
 	)
 	flag.Parse()
@@ -45,7 +46,8 @@ func main() {
 	st, err := core.RunStudy(core.Options{
 		Scale: *scale, Seed: *seed, TraceDir: *traceDir,
 		Workers: *workers, AnalysisWorkers: *anaWorkers,
-		Tracer: tracer,
+		SketchMode: *sketchMode,
+		Tracer:     tracer,
 	})
 	if err != nil {
 		log.Fatal(err)

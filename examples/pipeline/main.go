@@ -125,7 +125,7 @@ func main() {
 	mu.Lock()
 	dataset := collected
 	mu.Unlock()
-	run, err := core.AnalyzeCampaign(cfg, sm, analysis.SliceSource(dataset))
+	run, err := core.AnalyzeCampaign(cfg, sm, analysis.SliceSource(dataset), core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -82,6 +82,82 @@ func TestFanOutSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// batteryFootprint sums the bounded sketch state across the battery — the
+// bytes that must NOT grow with the sample count. The per-device transient
+// maps are deliberately excluded: they are O(devices) by design and the
+// soak test budgets them separately.
+func batteryFootprint(b sketchEquivalenceBattery) int {
+	n := 0
+	for _, q := range b.durations.durs {
+		n += q.Footprint()
+	}
+	sk := b.volumes.sk
+	for _, q := range []interface{ Footprint() int }{
+		sk.AllRX, sk.AllTX, sk.CellRX, sk.CellTX, sk.WiFiRX, sk.WiFiTX,
+		b.volumes.statsCell, b.volumes.statsWiFi,
+		b.card.devices, b.card.aps,
+	} {
+		n += q.Footprint()
+	}
+	return n
+}
+
+// TestSketchBatterySteadyStateAllocs pins the streaming contract of the
+// sketch analyzers: once every device in the stream has its transient state
+// (association run, partial volume day, partial AP-set day), re-feeding the
+// whole campaign allocates a small constant — day flushes and run closes
+// reuse their structs in place, and sketch updates are pure array writes.
+func TestSketchBatterySteadyStateAllocs(t *testing.T) {
+	meta, samples, release := equivalenceFixture(t)
+	prep, err := BuildPrep(meta, SliceSource(samples), release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cleaned, raw := newSketchEquivalenceBattery(meta, prep)
+	cycle := func() {
+		for i := range samples {
+			dispatch(&samples[i], prep, cleaned, raw)
+		}
+	}
+	// Two warm passes populate the per-device maps and the rank breakdown.
+	cycle()
+	cycle()
+	allocs := testing.AllocsPerRun(5, cycle)
+	if allocs > 64 {
+		t.Fatalf("warm sketch battery allocates %.0f times per pass over %d samples, want <= 64", allocs, len(samples))
+	}
+}
+
+// TestSketchFootprintNoGrowth feeds the sketch battery ten times the
+// campaign and asserts the sketch bytes never move: the distributions'
+// memory is fixed at construction, independent of how many samples or
+// user-days stream through. This is the property that makes the 1M-device
+// soak's heap ceiling possible.
+func TestSketchFootprintNoGrowth(t *testing.T) {
+	meta, samples, release := equivalenceFixture(t)
+	prep, err := BuildPrep(meta, SliceSource(samples), release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, cleaned, raw := newSketchEquivalenceBattery(meta, prep)
+	feed := func() {
+		for i := range samples {
+			dispatch(&samples[i], prep, cleaned, raw)
+		}
+	}
+	feed()
+	base := batteryFootprint(b)
+	if base == 0 {
+		t.Fatal("battery reports zero footprint; accounting is broken")
+	}
+	for i := 0; i < 9; i++ {
+		feed()
+	}
+	if got := batteryFootprint(b); got != base {
+		t.Fatalf("sketch footprint grew from %d to %d bytes after 10x samples; sketches must be bounded", base, got)
+	}
+}
+
 // TestShardPoolConcurrentSoak hammers the process-wide pools from
 // concurrent campaign partitions — the RunStudy shape — and verifies the
 // pooled copies stay intact. Run under -race this is the engine's pool soak.

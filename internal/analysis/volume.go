@@ -32,6 +32,9 @@ type DailyVolumes struct {
 	// MaxRXMB is the heaviest observed day (the paper's top heavy hitter
 	// downloaded 11 GB in one day).
 	MaxRXMB float64
+	// Sketches carries the same distributions in bounded-memory form when
+	// the run used sketch mode; the raw slices above are then nil.
+	Sketches *VolumeSketches
 }
 
 // DailyVolumes extracts the per-user-day volume samples from the prepass.

@@ -35,14 +35,39 @@ func benchCampaign(b testing.TB) (config.Campaign, analysis.Source, int) {
 // over the trace file, each decoding every sample.
 func BenchmarkAnalyzeCampaignSequential(b *testing.B) {
 	cfg, src, n := benchCampaign(b)
-	if _, err := core.AnalyzeCampaign(cfg, nil, src); err != nil { // warm analyzer pools
+	if _, err := core.AnalyzeCampaign(cfg, nil, src, core.Options{}); err != nil { // warm analyzer pools
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	start := trace.DecodeCount()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.AnalyzeCampaign(cfg, nil, src); err != nil {
+		if _, err := core.AnalyzeCampaign(cfg, nil, src, core.Options{}); err != nil {
 			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perRun := float64(trace.DecodeCount()-start) / float64(b.N) / float64(n)
+	b.ReportMetric(perRun, "decodes/sample")
+}
+
+// BenchmarkAnalyzeCampaignSketch runs the same campaign through the
+// bounded-memory sketch battery (Options.SketchMode), anchoring the cost of
+// the streaming analyzers against the exact sequential baseline above.
+func BenchmarkAnalyzeCampaignSketch(b *testing.B) {
+	cfg, src, n := benchCampaign(b)
+	opts := core.Options{SketchMode: true}
+	if _, err := core.AnalyzeCampaign(cfg, nil, src, opts); err != nil { // warm analyzer pools
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	start := trace.DecodeCount()
+	for i := 0; i < b.N; i++ {
+		run, err := core.AnalyzeCampaign(cfg, nil, src, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if run.Volumes.Sketches == nil || run.SketchCard == nil {
+			b.Fatal("sketch mode produced no sketch results")
 		}
 	}
 	b.StopTimer()
@@ -62,13 +87,13 @@ func BenchmarkAnalyzeCampaignParallel(b *testing.B) {
 	if workers < 4 {
 		workers = 4
 	}
-	if _, err := core.AnalyzeCampaignParallel(cfg, nil, src, workers); err != nil { // warm pools
+	if _, err := core.AnalyzeCampaignParallel(cfg, nil, src, core.Options{AnalysisWorkers: workers}); err != nil { // warm pools
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	start := trace.DecodeCount()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.AnalyzeCampaignParallel(cfg, nil, src, workers); err != nil {
+		if _, err := core.AnalyzeCampaignParallel(cfg, nil, src, core.Options{AnalysisWorkers: workers}); err != nil {
 			b.Fatal(err)
 		}
 	}

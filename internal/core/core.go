@@ -51,6 +51,12 @@ type Options struct {
 	// samples across goroutines by device (results are identical
 	// regardless); 0 keeps them sequential, negative uses GOMAXPROCS.
 	AnalysisWorkers int
+	// SketchMode swaps the slice-buffering figure analyzers for the
+	// bounded-memory sketch battery (internal/sketch): quantile-derived
+	// statistics then carry a documented ~1% relative error while analyzer
+	// memory stays O(devices) instead of O(user-days). See DESIGN.md
+	// "Sketch-based analysis" for the per-figure tolerance table.
+	SketchMode bool
 	// Tracer, when non-nil, records stage spans (simulation, prepass,
 	// analysis shards, merges) in Chrome trace format; see obs.NewTracer.
 	// It is also installed as the analysis engine's tracer for the life of
@@ -105,11 +111,14 @@ type CampaignRun struct {
 	RSSI        analysis.RSSIResult
 	Channels    analysis.ChannelsResult
 	PublicAvail analysis.PublicAvailabilityResult
-	Apps        analysis.AppBreakdownResult
-	CapEffect   analysis.CapEffectResult
-	Interfere   analysis.InterferenceResult
-	Battery     analysis.BatteryResult
-	Carriers    analysis.CarrierRatiosResult
+	// SketchCard is non-nil in sketch mode: HLL estimates of the panel and
+	// AP-census cardinalities alongside the exact stream counters.
+	SketchCard *analysis.SketchCardinalityResult
+	Apps       analysis.AppBreakdownResult
+	CapEffect  analysis.CapEffectResult
+	Interfere  analysis.InterferenceResult
+	Battery    analysis.BatteryResult
+	Carriers   analysis.CarrierRatiosResult
 	// Update is non-nil for the 2015 campaign.
 	Update *analysis.UpdateTimingResult
 	Survey *survey.Result
@@ -160,7 +169,7 @@ func RunWithConfig(cfg config.Campaign, opts Options) (*CampaignRun, error) {
 		if err := runSim(sh.Add); err != nil {
 			return nil, fmt.Errorf("core: simulate %d: %w", cfg.Year, err)
 		}
-		return AnalyzeCampaignShards(cfg, sm, sh)
+		return AnalyzeCampaignShards(cfg, sm, sh, opts)
 	}
 	path, err := spoolTrace(sm, opts.TraceDir, runSim)
 	if err != nil {
@@ -168,9 +177,9 @@ func RunWithConfig(cfg config.Campaign, opts Options) (*CampaignRun, error) {
 	}
 	src := analysis.FileSource(path)
 	if workers > 1 {
-		return analyzeCampaignStreaming(cfg, sm, src, workers)
+		return analyzeCampaignStreaming(cfg, sm, src, opts, workers)
 	}
-	return AnalyzeCampaign(cfg, sm, src)
+	return AnalyzeCampaign(cfg, sm, src, opts)
 }
 
 // spoolTrace executes the simulation once, writing the binary trace under
@@ -199,19 +208,37 @@ func spoolTrace(sm *sim.Simulator, dir string, runSim func(sim.Sink) error) (str
 	return path, nil
 }
 
+// durationAnalyzer and apsPerDayAnalyzer abstract over the exact and sketch
+// implementations of the two figure analyzers that exist in both forms.
+type durationAnalyzer interface {
+	analysis.Analyzer
+	Result() analysis.AssocDurationResult
+}
+
+type apsPerDayAnalyzer interface {
+	analysis.Analyzer
+	Result() analysis.APsPerDayResult
+}
+
 // analyzerSet is the second-pass analyzer battery of one campaign.
 type analyzerSet struct {
 	agg          *analysis.Aggregate
 	ratios       *analysis.WiFiRatios
 	ifstate      *analysis.InterfaceState
 	location     *analysis.LocationTraffic
-	apsPerDay    *analysis.APsPerDay
-	durations    *analysis.AssocDuration
+	apsPerDay    apsPerDayAnalyzer
+	durations    durationAnalyzer
 	publicAvail  *analysis.PublicAvailability
 	appBreak     *analysis.AppBreakdown
 	battery      *analysis.Battery
 	carriers     *analysis.CarrierRatios
 	updateTiming *analysis.UpdateTiming
+
+	// volumes and sketchCard are non-nil only in sketch mode; assembleRun
+	// then derives DailyVolumes/VolumeStats from the streaming analyzer
+	// instead of the prepass UserDays map.
+	volumes    *analysis.SketchVolumes
+	sketchCard *analysis.SketchCardinality
 
 	cleaned []analysis.Analyzer
 	raw     []analysis.Analyzer
@@ -225,22 +252,35 @@ func (set *analyzerSet) release() {
 	set.publicAvail.Release()
 }
 
-func newAnalyzerSet(meta analysis.Meta, prep *analysis.Prep, release *time.Time) *analyzerSet {
+func newAnalyzerSet(meta analysis.Meta, prep *analysis.Prep, release *time.Time, sketch bool) *analyzerSet {
 	set := &analyzerSet{
 		agg:         analysis.NewAggregate(meta),
 		ratios:      analysis.NewWiFiRatios(meta, prep),
 		ifstate:     analysis.NewInterfaceState(meta),
 		location:    analysis.NewLocationTraffic(meta, prep),
-		apsPerDay:   analysis.NewAPsPerDay(meta, prep),
-		durations:   analysis.NewAssocDuration(meta, prep),
 		publicAvail: analysis.NewPublicAvailability(prep),
 		appBreak:    analysis.NewAppBreakdown(meta, prep),
 		battery:     analysis.NewBattery(meta),
 		carriers:    analysis.NewCarrierRatios(),
 	}
+	if sketch {
+		set.apsPerDay = analysis.NewSketchAPsPerDay(meta, prep)
+		set.durations = analysis.NewSketchAssocDuration(meta, prep)
+		set.volumes = analysis.NewSketchVolumes(meta)
+		set.sketchCard = analysis.NewSketchCardinality()
+	} else {
+		set.apsPerDay = analysis.NewAPsPerDay(meta, prep)
+		set.durations = analysis.NewAssocDuration(meta, prep)
+	}
 	set.cleaned = []analysis.Analyzer{
 		set.agg, set.ratios, set.ifstate, set.location, set.apsPerDay,
 		set.durations, set.publicAvail, set.appBreak, set.battery, set.carriers,
+	}
+	if set.volumes != nil {
+		set.cleaned = append(set.cleaned, set.volumes)
+	}
+	if set.sketchCard != nil {
+		set.raw = append(set.raw, set.sketchCard)
 	}
 	if release != nil {
 		set.updateTiming = analysis.NewUpdateTiming(meta, prep, *release)
@@ -257,8 +297,6 @@ func assembleRun(cfg config.Campaign, sm *sim.Simulator, prep *analysis.Prep, se
 		Sim:         sm,
 		Prep:        prep,
 		Overview:    prep.Overview(),
-		Volumes:     prep.DailyVolumes(),
-		VolumeStats: prep.VolumeStats(),
 		UserTypes:   prep.UserTypes(),
 		Aggregate:   set.agg.Result(),
 		Ratios:      set.ratios.Result(),
@@ -277,6 +315,16 @@ func assembleRun(cfg config.Campaign, sm *sim.Simulator, prep *analysis.Prep, se
 		Interfere:   prep.Interference(),
 		Battery:     set.battery.Result(),
 		Carriers:    set.carriers.Result(),
+	}
+	if set.volumes != nil {
+		run.Volumes, run.VolumeStats = set.volumes.Result()
+	} else {
+		run.Volumes = prep.DailyVolumes()
+		run.VolumeStats = prep.VolumeStats()
+	}
+	if set.sketchCard != nil {
+		r := set.sketchCard.Result()
+		run.SketchCard = &r
 	}
 	if set.updateTiming != nil {
 		r := set.updateTiming.Result()
@@ -304,15 +352,17 @@ func updateRelease(cfg config.Campaign) *time.Time {
 
 // AnalyzeCampaign runs the two-pass analysis pipeline sequentially over an
 // existing sample source. sm may be nil when analyzing a trace without its
-// world (the survey is skipped in that case).
-func AnalyzeCampaign(cfg config.Campaign, sm *sim.Simulator, src analysis.Source) (*CampaignRun, error) {
+// world (the survey is skipped in that case). Of opts, only the analysis
+// options (SketchMode, Tracer) apply; parallelism is the caller's choice of
+// entry point.
+func AnalyzeCampaign(cfg config.Campaign, sm *sim.Simulator, src analysis.Source, opts Options) (*CampaignRun, error) {
 	meta := analysis.MetaFor(cfg)
 	release := updateRelease(cfg)
 	prep, err := analysis.BuildPrep(meta, src, release)
 	if err != nil {
 		return nil, fmt.Errorf("core: prepass %d: %w", cfg.Year, err)
 	}
-	set := newAnalyzerSet(meta, prep, release)
+	set := newAnalyzerSet(meta, prep, release, opts.SketchMode)
 	if err := analysis.Run(src, prep, set.cleaned, set.raw); err != nil {
 		return nil, fmt.Errorf("core: analysis pass %d: %w", cfg.Year, err)
 	}
@@ -320,28 +370,27 @@ func AnalyzeCampaign(cfg config.Campaign, sm *sim.Simulator, src analysis.Source
 }
 
 // AnalyzeCampaignParallel is AnalyzeCampaign with both passes sharded over
-// workers goroutines (<= 0 selects GOMAXPROCS). The source is decoded
-// exactly once — into device-partitioned in-memory shards that both passes
-// then stream from. Results are identical to the sequential path.
-func AnalyzeCampaignParallel(cfg config.Campaign, sm *sim.Simulator, src analysis.Source, workers int) (*CampaignRun, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+// opts.AnalysisWorkers goroutines (negative selects GOMAXPROCS). The source
+// is decoded exactly once — into device-partitioned in-memory shards that
+// both passes then stream from. Results are identical to the sequential
+// path.
+func AnalyzeCampaignParallel(cfg config.Campaign, sm *sim.Simulator, src analysis.Source, opts Options) (*CampaignRun, error) {
+	workers := opts.analysisWorkers()
 	if workers == 1 {
-		return AnalyzeCampaign(cfg, sm, src)
+		return AnalyzeCampaign(cfg, sm, src, opts)
 	}
 	sh, err := analysis.ShardSamples(src, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: shard %d: %w", cfg.Year, err)
 	}
-	return AnalyzeCampaignShards(cfg, sm, sh)
+	return AnalyzeCampaignShards(cfg, sm, sh, opts)
 }
 
 // AnalyzeCampaignShards runs the two-pass pipeline over pre-partitioned
 // in-memory shards, one goroutine per shard. The shards are consumed: their
 // pooled storage is recycled before returning (successfully or not), so the
 // caller must not touch sh afterwards.
-func AnalyzeCampaignShards(cfg config.Campaign, sm *sim.Simulator, sh *analysis.Shards) (*CampaignRun, error) {
+func AnalyzeCampaignShards(cfg config.Campaign, sm *sim.Simulator, sh *analysis.Shards, opts Options) (*CampaignRun, error) {
 	defer sh.Release()
 	meta := analysis.MetaFor(cfg)
 	release := updateRelease(cfg)
@@ -349,7 +398,7 @@ func AnalyzeCampaignShards(cfg config.Campaign, sm *sim.Simulator, sh *analysis.
 	if err != nil {
 		return nil, fmt.Errorf("core: prepass %d: %w", cfg.Year, err)
 	}
-	set := newAnalyzerSet(meta, prep, release)
+	set := newAnalyzerSet(meta, prep, release, opts.SketchMode)
 	if err := analysis.RunShards(sh, prep, set.cleaned, set.raw); err != nil {
 		return nil, fmt.Errorf("core: analysis pass %d: %w", cfg.Year, err)
 	}
@@ -360,14 +409,14 @@ func AnalyzeCampaignShards(cfg config.Campaign, sm *sim.Simulator, sh *analysis.
 // source is decoded once per pass on one goroutine while workers accumulate
 // shard-locally. Unlike AnalyzeCampaignParallel it never holds the whole
 // campaign in memory, which is why the TraceDir path uses it.
-func analyzeCampaignStreaming(cfg config.Campaign, sm *sim.Simulator, src analysis.Source, workers int) (*CampaignRun, error) {
+func analyzeCampaignStreaming(cfg config.Campaign, sm *sim.Simulator, src analysis.Source, opts Options, workers int) (*CampaignRun, error) {
 	meta := analysis.MetaFor(cfg)
 	release := updateRelease(cfg)
 	prep, err := analysis.BuildPrepParallel(meta, src, release, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: prepass %d: %w", cfg.Year, err)
 	}
-	set := newAnalyzerSet(meta, prep, release)
+	set := newAnalyzerSet(meta, prep, release, opts.SketchMode)
 	if err := analysis.RunParallel(src, prep, set.cleaned, set.raw, workers); err != nil {
 		return nil, fmt.Errorf("core: analysis pass %d: %w", cfg.Year, err)
 	}

@@ -28,11 +28,11 @@ func TestMultiCoreSpeedup(t *testing.T) {
 	}
 
 	// Warm both paths first so pool growth and page faults don't count.
-	seqRes, err := core.AnalyzeCampaign(cfg, nil, src)
+	seqRes, err := core.AnalyzeCampaign(cfg, nil, src, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parRes, err := core.AnalyzeCampaignParallel(cfg, nil, src, workers)
+	parRes, err := core.AnalyzeCampaignParallel(cfg, nil, src, core.Options{AnalysisWorkers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,11 +57,11 @@ func TestMultiCoreSpeedup(t *testing.T) {
 		return bestD
 	}
 	seq := best(func() error {
-		_, err := core.AnalyzeCampaign(cfg, nil, src)
+		_, err := core.AnalyzeCampaign(cfg, nil, src, core.Options{})
 		return err
 	})
 	par := best(func() error {
-		_, err := core.AnalyzeCampaignParallel(cfg, nil, src, workers)
+		_, err := core.AnalyzeCampaignParallel(cfg, nil, src, core.Options{AnalysisWorkers: workers})
 		return err
 	})
 

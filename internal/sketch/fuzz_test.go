@@ -1,0 +1,92 @@
+package sketch
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The decode fuzz targets pin the untrusted-bytes contract: any input —
+// torn, bit-flipped, or adversarial — either decodes to a valid sketch or
+// returns an error. Panics and silent acceptance of invalid state are the
+// failure modes. On success, decode∘encode must be the identity on bytes.
+
+func fuzzQuantileSeeds() [][]byte {
+	var seeds [][]byte
+	empty, _ := NewQuantile(DefaultQuantileConfig()).MarshalBinary()
+	seeds = append(seeds, empty)
+
+	r := rand.New(rand.NewSource(42))
+	q := NewQuantile(DefaultQuantileConfig())
+	for i := 0; i < 5000; i++ {
+		q.Add(math.Exp(r.NormFloat64() * 3))
+	}
+	q.AddN(0, 9)
+	full, _ := q.MarshalBinary()
+	seeds = append(seeds, full, full[:len(full)/2], append(append([]byte{}, full...), 1, 2, 3))
+
+	tiny := NewQuantile(QuantileConfig{RelAcc: 0.3, Min: 1, Max: 10})
+	tiny.Add(3)
+	tb, _ := tiny.MarshalBinary()
+	seeds = append(seeds, tb)
+	return seeds
+}
+
+func FuzzSketchDecode(f *testing.F) {
+	for _, s := range fuzzQuantileSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeQuantile(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip byte-identically and answer
+		// queries without panicking.
+		out, err := q.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode/encode not identity: %d in, %d out", len(data), len(out))
+		}
+		for _, p := range []float64{0, 0.5, 1} {
+			v := q.Quantile(p)
+			if math.IsNaN(v) {
+				t.Fatalf("quantile(%g) = NaN from accepted encoding", p)
+			}
+		}
+		_ = q.Sum()
+		_ = q.Mean()
+	})
+}
+
+func FuzzHLLDecode(f *testing.F) {
+	empty, _ := NewDistinct().MarshalBinary()
+	f.Add(empty)
+	d := NewDistinct()
+	for i := 0; i < 10000; i++ {
+		d.AddUint64(uint64(i))
+	}
+	full, _ := d.MarshalBinary()
+	f.Add(full)
+	f.Add(full[:len(full)/3])
+	f.Add(append(append([]byte{}, full...), 0xff))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDistinct(data)
+		if err != nil {
+			return
+		}
+		out, err := d.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode/encode not identity: %d in, %d out", len(data), len(out))
+		}
+		if e := d.Estimate(); math.IsNaN(e) || e < 0 {
+			t.Fatalf("estimate %g from accepted encoding", e)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package sketch
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestDistinctAccuracy(t *testing.T) {
+	// Standard error at precision 12 is ~1.6%; assert 5x that.
+	const tol = 0.08
+	for _, n := range []int{10, 100, 1000, 50000, 500000} {
+		d := NewDistinct()
+		for i := 0; i < n; i++ {
+			d.AddUint64(uint64(i))
+		}
+		got := d.Estimate()
+		if e := math.Abs(got-float64(n)) / float64(n); e > tol {
+			t.Errorf("n=%d: estimate %.0f, rel err %.3f > %.3f", n, got, e, tol)
+		}
+	}
+}
+
+func TestDistinctStringsAndKeys(t *testing.T) {
+	d := NewDistinct()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d.AddString(fmt.Sprintf("essid-%d", i))
+	}
+	if got := d.Estimate(); math.Abs(got-n)/n > 0.08 {
+		t.Errorf("string estimate %.0f for %d", got, n)
+	}
+	// Composite keys: same number part with different strings (and vice
+	// versa) must count separately.
+	k := NewDistinct()
+	for i := 0; i < 1000; i++ {
+		k.AddKey(uint64(i%10), fmt.Sprintf("net-%d", i))
+		k.AddKey(uint64(i), "shared")
+	}
+	if got := k.Estimate(); math.Abs(got-2000)/2000 > 0.08 {
+		t.Errorf("key estimate %.0f for 2000", got)
+	}
+}
+
+func TestDistinctDuplicatesDoNotGrow(t *testing.T) {
+	d := NewDistinct()
+	for i := 0; i < 100; i++ {
+		d.AddUint64(42)
+		d.AddString("same")
+	}
+	if got := d.Count(); got != 2 {
+		t.Fatalf("100 duplicate adds of 2 elements estimated %d", got)
+	}
+}
+
+func TestDistinctMergeIdempotent(t *testing.T) {
+	d := NewDistinct()
+	for i := 0; i < 10000; i++ {
+		d.AddUint64(uint64(i * 7))
+	}
+	want, _ := d.MarshalBinary()
+	d.Merge(d.Clone())
+	got, _ := d.MarshalBinary()
+	if !bytes.Equal(want, got) {
+		t.Fatal("self-merge changed register state")
+	}
+}
+
+func TestDistinctRoundTrip(t *testing.T) {
+	d := NewDistinct()
+	for i := 0; i < 5000; i++ {
+		d.AddUint64(uint64(i))
+	}
+	b, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDistinct(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := got.MarshalBinary()
+	if !bytes.Equal(b, b2) {
+		t.Fatal("decode/re-encode changed bytes")
+	}
+	if got.Estimate() != d.Estimate() {
+		t.Fatal("round trip changed the estimate")
+	}
+}
+
+func TestDistinctDecodeRejectsCorrupt(t *testing.T) {
+	d := NewDistinct()
+	d.AddUint64(1)
+	valid, _ := d.MarshalBinary()
+	overRank := append([]byte{}, valid...)
+	overRank[len(overRank)-1] = hllMaxRank + 1
+	badPrec := append([]byte{}, valid...)
+	badPrec[4] = 9
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE"),
+		"truncated": valid[:100],
+		"trailing":  append(append([]byte{}, valid...), 0),
+		"bad rank":  overRank,
+		"bad prec":  badPrec,
+	}
+	for name, b := range cases {
+		if _, err := DecodeDistinct(b); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrCorrupt", name, err)
+		}
+	}
+}
+
+func BenchmarkDistinctAdd(b *testing.B) {
+	d := NewDistinct()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.AddUint64(uint64(i))
+	}
+}
+
+func BenchmarkDistinctEstimate(b *testing.B) {
+	d := NewDistinct()
+	for i := 0; i < 100000; i++ {
+		d.AddUint64(uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Estimate()
+	}
+}

@@ -1,0 +1,249 @@
+package sketch
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile mirrors stats.Quantile's linear-interpolation convention so
+// the accuracy tests compare against the exact path's definition.
+func exactQuantile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// relErr is |got-want| scaled by want (absolute when want is tiny).
+func relErr(got, want float64) float64 {
+	d := math.Abs(got - want)
+	if math.Abs(want) < 1e-9 {
+		return d
+	}
+	return d / math.Abs(want)
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	cfg := DefaultQuantileConfig()
+	for _, dist := range []struct {
+		name string
+		gen  func(r *rand.Rand) float64
+	}{
+		{"lognormal", func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64()*2 + 2) }},
+		{"exponential", func(r *rand.Rand) float64 { return r.ExpFloat64() * 50 }},
+		{"uniform-wide", func(r *rand.Rand) float64 { return r.Float64() * 1e6 }},
+	} {
+		t.Run(dist.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(7))
+			q := NewQuantile(cfg)
+			xs := make([]float64, 20000)
+			for i := range xs {
+				xs[i] = dist.gen(r)
+				q.Add(xs[i])
+			}
+			sort.Float64s(xs)
+			// The documented bound is ~RelAcc on the value axis; allow a
+			// little interpolation slack on top.
+			bound := 2*cfg.RelAcc + 1e-9
+			for _, p := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+				got, want := q.Quantile(p), exactQuantile(xs, p)
+				if e := relErr(got, want); e > bound && math.Abs(got-want) > cfg.Min {
+					t.Errorf("q(%g) = %g, exact %g, rel err %.4f > %.4f", p, got, want, e, bound)
+				}
+			}
+			var sum float64
+			for _, x := range xs {
+				sum += x
+			}
+			if e := relErr(q.Sum(), sum); e > bound {
+				t.Errorf("Sum = %g, exact %g, rel err %.4f", q.Sum(), sum, e)
+			}
+			if e := relErr(q.Mean(), sum/float64(len(xs))); e > bound {
+				t.Errorf("Mean = %g, exact %g, rel err %.4f", q.Mean(), sum/float64(len(xs)), e)
+			}
+		})
+	}
+}
+
+func TestQuantileLowAndClamp(t *testing.T) {
+	q := NewQuantile(DefaultQuantileConfig())
+	for _, v := range []float64{0, -5, 1e-9, math.NaN(), math.Inf(-1)} {
+		q.Add(v)
+	}
+	if q.LowCount() != 5 || q.Count() != 5 {
+		t.Fatalf("low %d count %d, want 5/5", q.LowCount(), q.Count())
+	}
+	if got := q.Quantile(0.5); got != 0 {
+		t.Fatalf("median of below-resolution values = %g, want 0", got)
+	}
+	q.Add(math.Inf(1)) // clamps to the top bin
+	q.Add(1e300)
+	if got := q.Quantile(1); got > 1.03e12 || got < 0.97e12 {
+		t.Fatalf("overflow values should clamp near Max: got %g", got)
+	}
+	// Counts stay exact through clamping.
+	if q.Count() != 7 {
+		t.Fatalf("count %d, want 7", q.Count())
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	q := NewQuantile(DefaultQuantileConfig())
+	if q.Quantile(0.5) != 0 || q.Sum() != 0 || q.Mean() != 0 || q.Count() != 0 {
+		t.Fatal("empty sketch must report zeros")
+	}
+	q.Each(func(v float64, n uint64) { t.Fatalf("Each on empty sketch yielded (%g, %d)", v, n) })
+}
+
+func TestQuantileEachCoversCount(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	q := NewQuantile(DefaultQuantileConfig())
+	for i := 0; i < 5000; i++ {
+		q.Add(r.ExpFloat64() * 10)
+	}
+	q.AddN(0, 17)
+	var total uint64
+	last := math.Inf(-1)
+	q.Each(func(v float64, n uint64) {
+		if v <= last {
+			t.Fatalf("Each out of order: %g after %g", v, last)
+		}
+		last = v
+		total += n
+	})
+	if total != q.Count() {
+		t.Fatalf("Each covered %d of %d observations", total, q.Count())
+	}
+}
+
+func TestQuantileRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	q := NewQuantile(DefaultQuantileConfig())
+	for i := 0; i < 10000; i++ {
+		q.Add(math.Exp(r.NormFloat64() * 3))
+	}
+	q.AddN(0, 3)
+	b, err := q.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeQuantile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatal("decode/re-encode changed bytes")
+	}
+	if got.Count() != q.Count() || got.Quantile(0.9) != q.Quantile(0.9) {
+		t.Fatal("round trip changed state")
+	}
+	// Determinism: identical state must serialize identically.
+	b3, _ := q.Clone().MarshalBinary()
+	if !bytes.Equal(b, b3) {
+		t.Fatal("clone serialized differently")
+	}
+}
+
+func TestQuantileDecodeRejectsCorrupt(t *testing.T) {
+	q := NewQuantile(DefaultQuantileConfig())
+	q.Add(5)
+	valid, _ := q.MarshalBinary()
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  []byte("NOPE"),
+		"truncated":  valid[:len(valid)-1],
+		"trailing":   append(append([]byte{}, valid...), 0),
+		"cfg nan":    append([]byte(skqMagic), bytes.Repeat([]byte{0xff}, 24)...),
+		"torn float": []byte(skqMagic + "\x00\x01"),
+	}
+	for name, b := range cases {
+		if _, err := DecodeQuantile(b); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestQuantileMergeConfigMismatch(t *testing.T) {
+	a := NewQuantile(DefaultQuantileConfig())
+	b := NewQuantile(QuantileConfig{RelAcc: 0.05, Min: 1e-3, Max: 1e12})
+	if err := a.Merge(b); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("merge across configs: err %v, want ErrConfigMismatch", err)
+	}
+}
+
+func TestQuantileFootprintFixed(t *testing.T) {
+	q := NewQuantile(DefaultQuantileConfig())
+	before := q.Footprint()
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 100000; i++ {
+		q.Add(math.Exp(r.NormFloat64() * 4))
+	}
+	if q.Footprint() != before {
+		t.Fatalf("footprint grew %d -> %d under load", before, q.Footprint())
+	}
+	if before > 32<<10 {
+		t.Fatalf("default config footprint %d bytes, want under 32 KiB", before)
+	}
+}
+
+func BenchmarkQuantileAdd(b *testing.B) {
+	q := NewQuantile(DefaultQuantileConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Add(float64(i%100000) + 0.5)
+	}
+}
+
+func BenchmarkQuantileMerge(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := NewQuantile(DefaultQuantileConfig())
+	y := NewQuantile(DefaultQuantileConfig())
+	for i := 0; i < 100000; i++ {
+		x.Add(r.ExpFloat64() * 100)
+		y.Add(r.ExpFloat64() * 100)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := x.Merge(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuantileQuery(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	q := NewQuantile(DefaultQuantileConfig())
+	for i := 0; i < 100000; i++ {
+		q.Add(r.ExpFloat64() * 100)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q.Quantile(0.9)
+	}
+}

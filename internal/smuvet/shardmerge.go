@@ -3,7 +3,9 @@ package smuvet
 import (
 	"go/ast"
 	"go/types"
+	"path"
 	"sort"
+	"strings"
 )
 
 // ShardMergeAnalyzer guards the parallel analysis engine's contract (PR 1):
@@ -13,7 +15,12 @@ import (
 //     degrade RunParallel to the sequential path, and
 //  2. appear in a []Analyzer table inside the package's tests — the
 //     parallel-equivalence suite — so the sharded == sequential property is
-//     actually exercised for it.
+//     actually exercised for it, and
+//  3. if it is sketch-backed (PR 10: any struct field, directly or through a
+//     same-package struct, typed from a package named "sketch"), appear in a
+//     []Analyzer table built inside a test function whose name contains
+//     "Equivalence" — the sketch-vs-exact tolerance suite — so its
+//     approximation error is measured, not assumed.
 //
 // The analyzer activates in any package that declares both interfaces
 // (today: internal/analysis). Types declared in _test.go files are exempt —
@@ -38,9 +45,10 @@ func runShardMerge(pass *Pass) error {
 	// Concrete named types declared outside test files that implement
 	// Analyzer.
 	type impl struct {
-		name string
-		obj  types.Object
-		pos  ast.Node
+		name   string
+		obj    types.Object
+		pos    ast.Node
+		sketch bool
 	}
 	var impls []impl
 	for _, file := range pass.Files {
@@ -76,7 +84,10 @@ func runShardMerge(pass *Pass) error {
 						"%s implements Analyzer but not ShardedAnalyzer (NewShard/Merge): it silently drops RunParallel/RunShards to the sequential path",
 						obj.Name())
 				}
-				impls = append(impls, impl{name: obj.Name(), obj: obj, pos: ts})
+				impls = append(impls, impl{
+					name: obj.Name(), obj: obj, pos: ts,
+					sketch: sketchBacked(named, pass.Pkg),
+				})
 			}
 		}
 	}
@@ -90,13 +101,10 @@ func runShardMerge(pass *Pass) error {
 	// skipped (the driver loads test variants whenever they exist).
 	sliceOfAnalyzer := types.NewSlice(analyzerIface.obj.Type())
 	tableTypes := make(map[string]bool)
+	equivTableTypes := make(map[string]bool) // tables inside *Equivalence* functions
 	sawTests, sawTable := false, false
-	for _, file := range pass.Files {
-		if !pass.InTestFile(file.Pos()) {
-			continue
-		}
-		sawTests = true
-		ast.Inspect(file, func(n ast.Node) bool {
+	collect := func(n ast.Node, inEquiv bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
 			cl, ok := n.(*ast.CompositeLit)
 			if !ok {
 				return true
@@ -117,10 +125,23 @@ func runShardMerge(pass *Pass) error {
 				}
 				if named, ok := t.(*types.Named); ok {
 					tableTypes[named.Obj().Name()] = true
+					if inEquiv {
+						equivTableTypes[named.Obj().Name()] = true
+					}
 				}
 			}
 			return true
 		})
+	}
+	for _, file := range pass.Files {
+		if !pass.InTestFile(file.Pos()) {
+			continue
+		}
+		sawTests = true
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			collect(decl, ok && strings.Contains(fd.Name.Name, "Equivalence"))
+		}
 	}
 	if !sawTests {
 		return nil
@@ -136,9 +157,56 @@ func runShardMerge(pass *Pass) error {
 			pass.Reportf(im.pos.Pos(),
 				"%s is missing from every []Analyzer table in this package's tests: add it to the parallel-equivalence battery so sharded == sequential is checked for it",
 				im.name)
+			continue
+		}
+		if im.sketch && !equivTableTypes[im.name] {
+			pass.Reportf(im.pos.Pos(),
+				"%s is sketch-backed but appears in no []Analyzer table built inside an Equivalence test function: add it to the sketch equivalence battery so its approximation error is measured against the exact path",
+				im.name)
 		}
 	}
 	return nil
+}
+
+// sketchBacked reports whether named's struct state includes a type from a
+// package named "sketch" — directly, through pointers, containers, or
+// same-package struct fields (one Named hop per visited type, cycle-safe).
+// Such analyzers produce approximate results and must be covered by the
+// sketch-vs-exact equivalence suite, not just the sharding one.
+func sketchBacked(named *types.Named, pkg *types.Package) bool {
+	visited := make(map[*types.Named]bool)
+	var walk func(t types.Type) bool
+	walk = func(t types.Type) bool {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			return walk(tt.Elem())
+		case *types.Slice:
+			return walk(tt.Elem())
+		case *types.Array:
+			return walk(tt.Elem())
+		case *types.Map:
+			return walk(tt.Key()) || walk(tt.Elem())
+		case *types.Named:
+			if p := tt.Obj().Pkg(); p != nil && path.Base(p.Path()) == "sketch" {
+				return true
+			}
+			if visited[tt] || tt.Obj().Pkg() != pkg {
+				return false
+			}
+			visited[tt] = true
+			st, ok := tt.Underlying().(*types.Struct)
+			if !ok {
+				return false
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if walk(st.Field(i).Type()) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(named)
 }
 
 // localIface pairs the interface type with its defining object.

@@ -18,6 +18,13 @@ func TestShardMerge(t *testing.T) {
 	smuvettest.Run(t, ".", []*smuvet.Analyzer{smuvet.ShardMergeAnalyzer}, "./testdata/src/analysis")
 }
 
+// TestShardMergeSketch covers the sketch-backed arm of shardmerge: analyzers
+// holding internal/sketch state must appear in a table built inside an
+// *Equivalence* test function, not just any table.
+func TestShardMergeSketch(t *testing.T) {
+	smuvettest.Run(t, ".", []*smuvet.Analyzer{smuvet.ShardMergeAnalyzer}, "./testdata/src/sketchtable")
+}
+
 func TestGuardedBy(t *testing.T) {
 	smuvettest.Run(t, ".", []*smuvet.Analyzer{smuvet.GuardedByAnalyzer}, "./testdata/src/guarded")
 }
@@ -56,6 +63,7 @@ func TestAllAnalyzers(t *testing.T) {
 	smuvettest.Run(t, ".", smuvet.All(),
 		"./testdata/src/sim",
 		"./testdata/src/analysis",
+		"./testdata/src/sketchtable",
 		"./testdata/src/guarded",
 		"./testdata/src/wal",
 		"./testdata/src/zerocopy",

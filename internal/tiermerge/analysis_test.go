@@ -80,11 +80,11 @@ func TestAnalysisBitIdenticalToSingleCollector(t *testing.T) {
 		t.Fatal("campaign trace is empty")
 	}
 
-	merged, err := core.AnalyzeCampaign(cfg, nil, tiermerge.Source(dirs))
+	merged, err := core.AnalyzeCampaign(cfg, nil, tiermerge.Source(dirs), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := core.AnalyzeCampaign(cfg, nil, analysis.FileSource(tracePath))
+	single, err := core.AnalyzeCampaign(cfg, nil, analysis.FileSource(tracePath), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
