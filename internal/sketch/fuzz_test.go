@@ -30,6 +30,20 @@ func fuzzQuantileSeeds() [][]byte {
 	tiny.Add(3)
 	tb, _ := tiny.MarshalBinary()
 	seeds = append(seeds, tb)
+
+	// Crafted regression input: a valid header followed by a bin-delta
+	// varint of 2^63, which once wrapped negative under int64 conversion
+	// and indexed bins[] below zero.
+	cfg := DefaultQuantileConfig()
+	hostile := []byte(skqMagic)
+	hostile = appendFloat(hostile, cfg.RelAcc)
+	hostile = appendFloat(hostile, cfg.Min)
+	hostile = appendFloat(hostile, cfg.Max)
+	hostile = appendUvarint(hostile, 0)     // low
+	hostile = appendUvarint(hostile, 1)     // runs
+	hostile = appendUvarint(hostile, 1<<63) // delta: overflows int64
+	hostile = appendUvarint(hostile, 1)     // count
+	seeds = append(seeds, hostile)
 	return seeds
 }
 

@@ -124,6 +124,13 @@ func (q *Quantile) AddN(v float64, n uint64) {
 		q.low += n
 		return
 	}
+	// +Inf is a value above Max and must clamp into the top bin; the log
+	// indexing below would instead convert int(+Inf) to the minimum int64
+	// and mis-route it to bin 0 via the i < 0 clamp.
+	if math.IsInf(v, 1) {
+		q.bins[len(q.bins)-1] += n
+		return
+	}
 	i := int(math.Log(v/q.cfg.Min) * q.invLogG)
 	if i >= len(q.bins) {
 		i = len(q.bins) - 1
@@ -334,6 +341,11 @@ func DecodeQuantile(b []byte) (*Quantile, error) {
 		}
 		if r > 0 && delta == 0 {
 			return nil, corruptf("non-increasing bin index")
+		}
+		// Bound the delta before any signed conversion: a varint >= 2^63
+		// would wrap int64(delta) negative and index bins below zero.
+		if delta >= uint64(len(q.bins)) {
+			return nil, corruptf("bin index delta %d exceeds %d bins", delta, len(q.bins))
 		}
 		next := int64(idx) + int64(delta)
 		if r == 0 {

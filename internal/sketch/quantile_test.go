@@ -187,6 +187,51 @@ func TestQuantileDecodeRejectsCorrupt(t *testing.T) {
 	}
 }
 
+// TestQuantileDecodeRejectsOverflowDelta pins the never-panic contract
+// against bin-delta varints >= 2^63, which wrap negative under int64
+// conversion and once indexed bins[] below zero — both on the first run
+// (absolute index) and on later runs (cumulative index).
+func TestQuantileDecodeRejectsOverflowDelta(t *testing.T) {
+	cfg := DefaultQuantileConfig()
+	header := []byte(skqMagic)
+	header = appendFloat(header, cfg.RelAcc)
+	header = appendFloat(header, cfg.Min)
+	header = appendFloat(header, cfg.Max)
+	header = appendUvarint(header, 0) // low
+
+	firstRun := appendUvarint(append([]byte{}, header...), 1)
+	firstRun = appendUvarint(firstRun, 1<<63) // delta wraps int64 negative
+	firstRun = appendUvarint(firstRun, 1)
+
+	laterRun := appendUvarint(append([]byte{}, header...), 2)
+	laterRun = appendUvarint(laterRun, 1) // valid first run at bin 1
+	laterRun = appendUvarint(laterRun, 1)
+	laterRun = appendUvarint(laterRun, math.MaxUint64) // second delta overflows
+	laterRun = appendUvarint(laterRun, 1)
+
+	for name, b := range map[string][]byte{"first run": firstRun, "later run": laterRun} {
+		if _, err := DecodeQuantile(b); err == nil {
+			t.Errorf("%s: decode accepted overflowing bin delta", name)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestQuantileAddInfTopBin pins the documented above-Max behavior for +Inf
+// alone: the log-bin index computation would convert int(+Inf) to the
+// minimum int64 and once mis-reported an infinite observation as ~Min.
+func TestQuantileAddInfTopBin(t *testing.T) {
+	q := NewQuantile(DefaultQuantileConfig())
+	q.Add(math.Inf(1))
+	if q.LowCount() != 0 {
+		t.Fatalf("+Inf landed in the low bucket (low=%d)", q.LowCount())
+	}
+	if got := q.Quantile(0.5); got < 0.97e12 {
+		t.Fatalf("median of a lone +Inf = %g, want ~Max (top bin)", got)
+	}
+}
+
 func TestQuantileMergeConfigMismatch(t *testing.T) {
 	a := NewQuantile(DefaultQuantileConfig())
 	b := NewQuantile(QuantileConfig{RelAcc: 0.05, Min: 1e-3, Max: 1e12})

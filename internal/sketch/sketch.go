@@ -59,11 +59,17 @@ func appendUvarint(b []byte, v uint64) []byte {
 }
 
 // readUvarint consumes one unsigned varint from b, returning the value and
-// the remaining bytes.
+// the remaining bytes. Only the minimal encoding is accepted — a padded
+// varint (e.g. 0x80 0x00 for zero) would decode to state that re-encodes
+// to different bytes, breaking the decode/encode identity the fuzz targets
+// assert.
 func readUvarint(b []byte) (uint64, []byte, error) {
 	v, n := binary.Uvarint(b)
 	if n <= 0 {
 		return 0, nil, corruptf("truncated varint")
+	}
+	if n > 1 && b[n-1] == 0 {
+		return 0, nil, corruptf("non-minimal varint")
 	}
 	return v, b[n:], nil
 }
